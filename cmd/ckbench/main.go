@@ -1,0 +1,96 @@
+// Command ckbench regenerates the paper's tables and the evaluation
+// experiments on the simulated ParaDiGM machine, printing measured values
+// next to the published ones. Run with -exp all (default) or a
+// comma-separated subset:
+//
+//	t1    Table 1: object sizes and cache geometry
+//	t2    Table 2 + §5.3: basic operation and trap/signal/fault times
+//	s52a  §5.2 descriptor memory budget arithmetic
+//	s52b  §5.2 mapping-cache thrash sweep
+//	s52c  §5.2 MP3D page-locality degradation
+//	a1    ablation: reverse-TLB vs two-stage signal delivery
+//	a7    ablation: LRU vs application-controlled database paging
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"vpp/internal/exp"
+	"vpp/internal/simk"
+)
+
+func main() {
+	expFlag := flag.String("exp", "all", "experiments to run (comma separated)")
+	full := flag.Bool("full", false, "use the paper's full 65536-descriptor pool in s52b (slower)")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, name := range strings.Split(*expFlag, ",") {
+		want[strings.TrimSpace(name)] = true
+	}
+	all := want["all"]
+	failed := false
+
+	section := func(id, title string) bool {
+		if !all && !want[id] {
+			return false
+		}
+		fmt.Printf("=== %s: %s ===\n", strings.ToUpper(id), title)
+		return true
+	}
+	check := func(err error) bool {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			failed = true
+			return false
+		}
+		return true
+	}
+
+	if section("t1", "Cache Kernel object sizes (paper Table 1)") {
+		fmt.Println(exp.MeasureTable1())
+	}
+	if section("t2", "basic operation times, µs (paper Table 2 and §5.3)") {
+		t2, err := exp.MeasureTable2()
+		if check(err) {
+			fmt.Println(t2)
+		}
+	}
+	if section("s52a", "descriptor memory budget (paper §5.2)") {
+		fmt.Println(exp.MeasureMemBudget())
+	}
+	if section("s52b", "mapping-cache replacement interference sweep (paper §5.2)") {
+		slots := 4096
+		if *full {
+			slots = 65536
+		}
+		res, err := exp.MeasureThrash(slots, nil, 2)
+		if check(err) {
+			fmt.Println(res)
+		}
+	}
+	if section("s52c", "MP3D page locality (paper §5.2: up to 25% degradation)") {
+		res, err := exp.MeasureMP3D(simk.MP3DConfig{})
+		if check(err) {
+			fmt.Println(res)
+		}
+	}
+	if section("a1", "reverse-TLB vs two-stage signal delivery (paper §4.1)") {
+		res, err := exp.MeasureSignalAblation()
+		if check(err) {
+			fmt.Println(res)
+		}
+	}
+	if section("a7", "database paging policy (paper §1 motivation)") {
+		res, err := exp.MeasureDB()
+		if check(err) {
+			fmt.Println(res)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

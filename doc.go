@@ -1,0 +1,24 @@
+// Package vpp is a reproduction of "A Caching Model of Operating System
+// Kernel Functionality" (Cheriton and Duda, OSDI 1994): the V++ Cache
+// Kernel, its application kernels and the ParaDiGM machine they ran on,
+// rebuilt in Go over a deterministic virtual-time simulator.
+//
+// The library lives under internal/ (see DESIGN.md for the map):
+//
+//   - internal/sim        deterministic coroutine/virtual-time engine
+//   - internal/hw         the simulated ParaDiGM multiprocessor
+//   - internal/pagetable  68040-style three-level page tables
+//   - internal/ck         the Cache Kernel (the paper's contribution)
+//   - internal/aklib      application-kernel class libraries
+//   - internal/srm        the system resource manager
+//   - internal/unixemu    UNIX emulator application kernel
+//   - internal/simk       simulation kernel + mini-MP3D
+//   - internal/dbk        database kernel
+//   - internal/rtk        real-time kernel
+//   - internal/monolith   monolithic-kernel baseline
+//   - internal/netboot    PROM monitor network boot (UDP/IP/ARP/RARP/TFTP)
+//   - internal/exp        the evaluation harness behind cmd/ckbench
+//
+// The benchmarks in bench_test.go regenerate every table and figure of
+// the paper's evaluation; EXPERIMENTS.md records paper-vs-measured.
+package vpp

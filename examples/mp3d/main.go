@@ -1,0 +1,38 @@
+// MP3D on the simulation kernel: application-controlled memory in
+// action (paper §3 and §5.2).
+//
+// The wind-tunnel simulation runs directly on the Cache Kernel with its
+// particle region eagerly mapped (no random page faults), one worker
+// thread per processor, and signal-based time-step barriers. Run twice —
+// with particles grouped by cell and scattered — it reproduces the
+// paper's page-locality degradation.
+//
+//	go run ./examples/mp3d
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vpp/internal/exp"
+	"vpp/internal/simk"
+)
+
+func main() {
+	cfg := simk.MP3DConfig{
+		CellsX: 64, CellsY: 16, ParticlesPerCell: 16,
+		Workers: 4, Steps: 4, Seed: 3, ComputePerParticle: 24,
+	}
+	fmt.Printf("wind tunnel: %dx%d cells, %d particles, %d workers, %d steps\n",
+		cfg.CellsX, cfg.CellsY, cfg.CellsX*cfg.CellsY*cfg.ParticlesPerCell,
+		cfg.Workers, cfg.Steps)
+
+	res, err := exp.MeasureMP3D(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res)
+	fmt.Printf("\ncell crossings handled: %d (locality mode recopied %d particles\n",
+		res.Locality.Moves, res.Locality.Recopies)
+	fmt.Println("to keep each cell's particles on adjacent pages — the paper's fix)")
+}

@@ -1,0 +1,3 @@
+module vpp
+
+go 1.22

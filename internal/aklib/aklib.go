@@ -1,0 +1,212 @@
+// Package aklib is the application-kernel class library of the V++
+// reproduction: the Go counterpart of the paper's C++ libraries for
+// memory management, processing and communication (Section 3).
+//
+// An application kernel is any program written against the Cache Kernel
+// interface that manages its own memory, processing and communication:
+// it loads address spaces, threads and page mappings, handles the traps
+// and faults of its threads, and absorbs writebacks. AppKernel bundles
+// the common machinery; kernels specialize by overriding the hook
+// functions (OnFault, OnTrap, writeback hooks), exactly as the paper's
+// kernels overrode virtual functions of the class library.
+package aklib
+
+import (
+	"fmt"
+
+	"vpp/internal/ck"
+	"vpp/internal/hw"
+)
+
+// AppKernel is the base state of one application kernel.
+type AppKernel struct {
+	Name string
+	CK   *ck.Kernel
+	MPM  *hw.MPM
+
+	// ID is the kernel object identifier; SpaceID the kernel's own
+	// address space (owned by the SRM that launched it).
+	ID      ck.ObjID
+	SpaceID ck.ObjID
+
+	// Frames allocates physical page frames from the page groups the
+	// SRM granted this kernel.
+	Frames *FrameAllocator
+
+	// Mem manages the kernel's own address space.
+	Mem *SegmentManager
+
+	// OnTrap handles trap numbers the library does not recognize; the
+	// UNIX emulator installs its system-call table here.
+	OnTrap func(e *hw.Exec, thread ck.ObjID, no uint32, args []uint32) (uint32, uint32)
+
+	// OnFault is consulted before the segment managers; the first
+	// result reports whether the fault was consumed, the second whether
+	// to resume the thread. Kernels use it for application-specific
+	// recovery policies.
+	OnFault func(e *hw.Exec, thread, space ck.ObjID, va uint32, write bool, kind hw.Fault) (bool, bool)
+
+	// OnMappingWB etc. observe writebacks after the library records
+	// them.
+	OnMappingWB func(st ck.MappingState)
+	OnThreadWB  func(id ck.ObjID, st ck.ThreadState)
+	OnSpaceWB   func(id ck.ObjID)
+	OnKernelWB  func(id ck.ObjID)
+
+	// spaceMgrs maps loaded space IDs to their segment managers so the
+	// fault handler can find the right one.
+	spaceMgrs map[ck.ObjID]*SegmentManager
+
+	// threadsByID tracks this kernel's thread records for writeback.
+	threadsByID map[ck.ObjID]*Thread
+
+	// Writeback traffic counters.
+	MappingWBs, ThreadWBs, SpaceWBs uint64
+}
+
+// NewAppKernel returns an unbooted application kernel shell; the SRM (or
+// test harness) completes it by loading the kernel object and space and
+// setting ID/SpaceID.
+func NewAppKernel(name string, k *ck.Kernel, mpm *hw.MPM) *AppKernel {
+	ak := &AppKernel{
+		Name:        name,
+		CK:          k,
+		MPM:         mpm,
+		Frames:      &FrameAllocator{},
+		spaceMgrs:   make(map[ck.ObjID]*SegmentManager),
+		threadsByID: make(map[ck.ObjID]*Thread),
+	}
+	return ak
+}
+
+// Attrs builds the Cache Kernel attributes that route this kernel's
+// traps, faults and writebacks through the library.
+func (ak *AppKernel) Attrs() ck.KernelAttrs {
+	return ck.KernelAttrs{
+		Name:      ak.Name,
+		Trap:      ak.handleTrap,
+		Fault:     ak.handleFault,
+		Wb:        ak,
+		LockQuota: [4]int{2, 8, 16, 512},
+	}
+}
+
+// AttachSpace registers a segment manager for a loaded space so the
+// fault handler pages it on demand.
+func (ak *AppKernel) AttachSpace(sid ck.ObjID, sm *SegmentManager) {
+	ak.spaceMgrs[sid] = sm
+	if sid == ak.SpaceID {
+		ak.Mem = sm
+	}
+}
+
+// DetachSpace removes a space's segment manager (when unloading it).
+func (ak *AppKernel) DetachSpace(sid ck.ObjID) { delete(ak.spaceMgrs, sid) }
+
+// SpaceManager returns the segment manager attached to a space.
+func (ak *AppKernel) SpaceManager(sid ck.ObjID) *SegmentManager { return ak.spaceMgrs[sid] }
+
+// ThreadByID resolves a loaded thread's library record from its current
+// Cache Kernel identifier.
+func (ak *AppKernel) ThreadByID(tid ck.ObjID) *Thread { return ak.threadsByID[tid] }
+
+// handleTrap is installed as the Cache Kernel trap handler.
+func (ak *AppKernel) handleTrap(e *hw.Exec, thread ck.ObjID, no uint32, args []uint32) (uint32, uint32) {
+	if ak.OnTrap != nil {
+		return ak.OnTrap(e, thread, no, args)
+	}
+	return ^uint32(0), 0
+}
+
+// handleFault is installed as the Cache Kernel fault handler: it finds
+// the faulting space's segment manager and demand-loads the page, using
+// the combined load-and-resume call (Figure 2).
+func (ak *AppKernel) handleFault(e *hw.Exec, thread, space ck.ObjID, va uint32, write bool, kind hw.Fault) bool {
+	if ak.OnFault != nil {
+		if handled, resume := ak.OnFault(e, thread, space, va, write, kind); handled {
+			return resume
+		}
+	}
+	sm := ak.spaceMgrs[space]
+	if sm == nil {
+		return false
+	}
+	return sm.HandleFault(e, va, write)
+}
+
+// MappingWriteback implements ck.Writeback: the library updates the
+// segment manager's page state (referenced/modified bits) so replacement
+// policies can use it.
+func (ak *AppKernel) MappingWriteback(st ck.MappingState) {
+	ak.MappingWBs++
+	if sm := ak.spaceMgrs[st.Space]; sm != nil {
+		sm.noteWriteback(st)
+	}
+	if ak.OnMappingWB != nil {
+		ak.OnMappingWB(st)
+	}
+}
+
+// ThreadWriteback implements ck.Writeback: the thread record absorbs the
+// state and marks itself unloaded, ready for a later reload.
+func (ak *AppKernel) ThreadWriteback(id ck.ObjID, st ck.ThreadState) {
+	ak.ThreadWBs++
+	if th := ak.threadsByID[id]; th != nil {
+		th.absorbWriteback(st)
+		delete(ak.threadsByID, id)
+	}
+	if ak.OnThreadWB != nil {
+		ak.OnThreadWB(id, st)
+	}
+}
+
+// SpaceWriteback implements ck.Writeback.
+func (ak *AppKernel) SpaceWriteback(id ck.ObjID) {
+	ak.SpaceWBs++
+	if sm := ak.spaceMgrs[id]; sm != nil {
+		sm.markUnloaded()
+	}
+	if ak.OnSpaceWB != nil {
+		ak.OnSpaceWB(id)
+	}
+}
+
+// KernelWriteback implements ck.Writeback; only the SRM (owner of all
+// kernel objects) receives these.
+func (ak *AppKernel) KernelWriteback(id ck.ObjID) {
+	if ak.OnKernelWB != nil {
+		ak.OnKernelWB(id)
+	}
+}
+
+// String identifies the kernel in diagnostics.
+func (ak *AppKernel) String() string { return fmt.Sprintf("appkernel(%s)", ak.Name) }
+
+// FrameAllocator hands out physical page frames from the page groups
+// granted to the kernel by the system resource manager.
+type FrameAllocator struct {
+	free []uint32
+}
+
+// AddGroup contributes one page group (128 contiguous frames).
+func (f *FrameAllocator) AddGroup(firstFrame uint32) {
+	for i := uint32(0); i < hw.PageGroupPages; i++ {
+		f.free = append(f.free, firstFrame+i)
+	}
+}
+
+// Alloc takes a free frame.
+func (f *FrameAllocator) Alloc() (uint32, bool) {
+	if len(f.free) == 0 {
+		return 0, false
+	}
+	pfn := f.free[len(f.free)-1]
+	f.free = f.free[:len(f.free)-1]
+	return pfn, true
+}
+
+// Free returns a frame.
+func (f *FrameAllocator) Free(pfn uint32) { f.free = append(f.free, pfn) }
+
+// Available reports the number of free frames.
+func (f *FrameAllocator) Available() int { return len(f.free) }

@@ -1,0 +1,105 @@
+package aklib
+
+import (
+	"fmt"
+
+	"vpp/internal/ck"
+	"vpp/internal/hw"
+)
+
+// Deferred copy (copy-on-write), the facility the paper's Cache Kernel
+// carries dependency records for (§2.1, §4.1, §6: "the Cache Kernel
+// includes additional support for deferred copy"). The mechanism splits
+// exactly as the caching model prescribes: the Cache Kernel only stores
+// the copy-on-write source in a dependency record attached to the
+// read-only mapping; the policy — when to copy, where the new frame
+// comes from — lives here in the application kernel, which resolves the
+// protection fault by copying the page and loading a writable mapping.
+
+// MapCopyOnWrite creates a segment at va that lazily shares src's
+// resident pages: reads go to the original frames through read-only
+// mappings carrying the copy-on-write source; the first write to a page
+// faults, copies the page into a fresh frame and remaps it writable.
+// src must belong to a space of the same kernel and have all pages
+// resident (eagerly mapped segments qualify).
+func (sm *SegmentManager) MapCopyOnWrite(e *hw.Exec, name string, va uint32, src *Segment) (*Segment, error) {
+	for i := uint32(0); i < src.Pages; i++ {
+		if !src.state[i].resident {
+			return nil, fmt.Errorf("aklib: copy-on-write source page %d not resident", i)
+		}
+	}
+	seg, err := sm.Map(e, name, va, src.Pages, SegFlags{Writable: true}, nil)
+	if err != nil {
+		return nil, err
+	}
+	seg.cowSrc = src
+	for i := uint32(0); i < src.Pages; i++ {
+		ps := &seg.state[i]
+		ps.pfn = src.state[i].pfn
+		ps.resident = true
+		ps.shared = true
+	}
+	return seg, nil
+}
+
+// CopiedPages reports how many pages have been privately copied.
+func (s *Segment) CopiedPages() int {
+	n := 0
+	for i := range s.state {
+		if s.state[i].resident && !s.state[i].shared && s.cowSrc != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// loadCowRead maps a still-shared page read-only with its copy-on-write
+// source recorded in the Cache Kernel.
+func (sm *SegmentManager) loadCowRead(e *hw.Exec, seg *Segment, idx uint32) error {
+	ps := &seg.state[idx]
+	err := sm.AK.CK.LoadMappingAndResume(e, sm.SID, ck.MappingSpec{
+		VA:              seg.VA + idx*hw.PageSize,
+		PFN:             ps.pfn,
+		Writable:        false,
+		Cachable:        true,
+		CopyOnWriteFrom: ps.pfn,
+	})
+	if err == nil {
+		ps.mapped = true
+	}
+	return err
+}
+
+// resolveCowWrite performs the deferred copy: allocate a private frame,
+// copy the shared page's contents through the memory system, and load a
+// writable mapping over the new frame.
+func (sm *SegmentManager) resolveCowWrite(e *hw.Exec, seg *Segment, idx uint32) error {
+	ps := &seg.state[idx]
+	newPFN, ok := sm.AK.Frames.Alloc()
+	if !ok {
+		return fmt.Errorf("aklib: %s out of frames for copy-on-write", sm.AK.Name)
+	}
+	// Drop the read-only mapping (and its copy-on-write record) if
+	// loaded.
+	if ps.mapped {
+		_, _ = sm.AK.CK.UnloadMapping(e, sm.SID, seg.VA+idx*hw.PageSize)
+		ps.mapped = false
+	}
+	// Copy the page. The transfer is charged like any other data copy.
+	phys := e.MPM.Machine.Phys
+	src := phys.Page(ps.pfn)
+	dst := phys.Page(newPFN)
+	copy(dst[:], src[:])
+	e.Charge(hw.PageSize / 4 * hw.CostMemHit * 2)
+	sm.CowCopies++
+
+	ps.pfn = newPFN
+	ps.shared = false
+	err := sm.AK.CK.LoadMappingAndResume(e, sm.SID, ck.MappingSpec{
+		VA: seg.VA + idx*hw.PageSize, PFN: newPFN, Writable: true, Cachable: true,
+	})
+	if err == nil {
+		ps.mapped = true
+	}
+	return err
+}

@@ -1,0 +1,168 @@
+package ck
+
+// objCache is the fixed-capacity descriptor cache underlying each object
+// type. Slots are recycled in least-recently-loaded order when the cache
+// is full; locked slots are skipped by reclamation (but see the
+// dependency rules in unload: a locked object with an unlocked
+// dependency is still reclaimable through that dependency).
+//
+// The descriptor array is allocated once at boot and accounted against
+// the MPM's local RAM with the paper's descriptor byte sizes, so the
+// Section 5.2 memory arithmetic reproduces.
+type objCache[T any] struct {
+	name  string
+	slots []cacheSlot[T]
+	free  []int32
+	// Intrusive LRU of loaded slots: head is least recently used.
+	lruHead, lruTail int32
+	loaded           int
+}
+
+type cacheSlot[T any] struct {
+	obj        T
+	gen        uint32
+	inUse      bool
+	locked     bool
+	prev, next int32
+}
+
+func newObjCache[T any](name string, capacity int) *objCache[T] {
+	c := &objCache[T]{
+		name:    name,
+		slots:   make([]cacheSlot[T], capacity),
+		lruHead: -1,
+		lruTail: -1,
+	}
+	// Push free slots so that slot 0 is allocated first.
+	for i := capacity - 1; i >= 0; i-- {
+		c.free = append(c.free, int32(i))
+	}
+	return c
+}
+
+// alloc takes a free slot, returning its index and new generation, or
+// ok=false if the cache is full (caller must evict first).
+func (c *objCache[T]) alloc() (idx int32, gen uint32, ok bool) {
+	if len(c.free) == 0 {
+		return 0, 0, false
+	}
+	idx = c.free[len(c.free)-1]
+	c.free = c.free[:len(c.free)-1]
+	s := &c.slots[idx]
+	s.gen++
+	s.inUse = true
+	s.locked = false
+	s.prev, s.next = -1, -1
+	c.lruAppend(idx)
+	c.loaded++
+	return idx, s.gen, true
+}
+
+// get returns the object in slot idx if the generation matches.
+func (c *objCache[T]) get(idx int32, gen uint32) (T, bool) {
+	var zero T
+	if idx < 0 || int(idx) >= len(c.slots) {
+		return zero, false
+	}
+	s := &c.slots[idx]
+	if !s.inUse || s.gen != gen {
+		return zero, false
+	}
+	return s.obj, true
+}
+
+// set stores the object value in an allocated slot.
+func (c *objCache[T]) set(idx int32, obj T) { c.slots[idx].obj = obj }
+
+// at returns the object in slot idx regardless of generation; the slot
+// must be in use.
+func (c *objCache[T]) at(idx int32) T {
+	if !c.slots[idx].inUse {
+		panic(c.name + ": at() on free slot")
+	}
+	return c.slots[idx].obj
+}
+
+// release frees slot idx for reuse.
+func (c *objCache[T]) release(idx int32) {
+	s := &c.slots[idx]
+	if !s.inUse {
+		panic(c.name + ": release of free slot")
+	}
+	var zero T
+	c.lruRemove(idx)
+	s.inUse = false
+	s.locked = false
+	s.obj = zero
+	c.free = append(c.free, idx)
+	c.loaded--
+}
+
+// touch marks slot idx most recently used.
+func (c *objCache[T]) touch(idx int32) {
+	c.lruRemove(idx)
+	c.lruAppend(idx)
+}
+
+// setLocked marks or clears the slot's lock bit.
+func (c *objCache[T]) setLocked(idx int32, locked bool) { c.slots[idx].locked = locked }
+
+// lockedSlot reports the slot's lock bit.
+func (c *objCache[T]) lockedSlot(idx int32) bool { return c.slots[idx].locked }
+
+// victim returns the least recently used reclaimable slot. reclaimable
+// lets the caller apply the dependency-aware locking rule (an object is
+// protected only when it and everything it depends on are locked).
+// ok=false means every loaded slot is protected.
+func (c *objCache[T]) victim(reclaimable func(idx int32) bool) (int32, bool) {
+	for idx := c.lruHead; idx != -1; idx = c.slots[idx].next {
+		if reclaimable(idx) {
+			return idx, true
+		}
+	}
+	return -1, false
+}
+
+// forEach visits every loaded slot in LRU order.
+func (c *objCache[T]) forEach(fn func(idx int32, obj T) bool) {
+	for idx := c.lruHead; idx != -1; {
+		next := c.slots[idx].next // fn may release idx
+		if !fn(idx, c.slots[idx].obj) {
+			return
+		}
+		idx = next
+	}
+}
+
+// Loaded reports the number of slots in use.
+func (c *objCache[T]) Loaded() int { return c.loaded }
+
+// Capacity reports the total slot count.
+func (c *objCache[T]) Capacity() int { return len(c.slots) }
+
+func (c *objCache[T]) lruAppend(idx int32) {
+	s := &c.slots[idx]
+	s.prev = c.lruTail
+	s.next = -1
+	if c.lruTail != -1 {
+		c.slots[c.lruTail].next = idx
+	} else {
+		c.lruHead = idx
+	}
+	c.lruTail = idx
+}
+
+func (c *objCache[T]) lruRemove(idx int32) {
+	s := &c.slots[idx]
+	if s.prev != -1 {
+		c.slots[s.prev].next = s.next
+	} else if c.lruHead == idx {
+		c.lruHead = s.next
+	}
+	if s.next != -1 {
+		c.slots[s.next].prev = s.prev
+	} else if c.lruTail == idx {
+		c.lruTail = s.prev
+	}
+	s.prev, s.next = -1, -1
+}

@@ -1,0 +1,64 @@
+// Package ck implements the V++ Cache Kernel: the supervisor-mode
+// component that caches operating system objects — kernels, address
+// spaces, threads and page mappings — on behalf of user-mode application
+// kernels, which implement all management policy (paper Sections 2 and 4).
+//
+// One Kernel instance runs per MPM of the simulated ParaDiGM machine
+// (internal/hw). Application kernels interact with it through the loaded
+// object operations (LoadThread, LoadSpace, LoadMapping, LoadKernel and
+// their unloads), fault and trap forwarding, and writeback callbacks, all
+// charged in virtual cycles so the paper's Table 2 and Section 5.3
+// measurements can be regenerated.
+package ck
+
+import "fmt"
+
+// ObjType distinguishes the three cached object kinds with identifiers.
+// (Page mappings are identified by address space and virtual address
+// instead, to keep their descriptors at 16 bytes — paper §2.1.)
+type ObjType uint8
+
+// Cached object kinds.
+const (
+	ObjInvalid ObjType = iota
+	ObjKernel
+	ObjSpace
+	ObjThread
+)
+
+func (t ObjType) String() string {
+	switch t {
+	case ObjKernel:
+		return "kernel"
+	case ObjSpace:
+		return "space"
+	case ObjThread:
+		return "thread"
+	}
+	return "invalid"
+}
+
+// ObjID names a loaded object. A fresh identifier is assigned on every
+// load (generation counting), so an identifier held across a writeback
+// dangles harmlessly: lookups fail and the application kernel reloads, as
+// the paper prescribes. The zero ObjID is never valid.
+type ObjID uint64
+
+// makeID packs type, generation and slot.
+func makeID(t ObjType, gen uint32, slot int) ObjID {
+	return ObjID(uint64(t)<<48 | uint64(gen)<<16 | uint64(uint16(slot)))
+}
+
+// Type reports the object kind encoded in the identifier.
+func (id ObjID) Type() ObjType { return ObjType(id >> 48) }
+
+func (id ObjID) gen() uint32 { return uint32(id>>16) & 0xffffffff }
+func (id ObjID) slot() int   { return int(uint16(id)) }
+
+// String formats the identifier for diagnostics.
+func (id ObjID) String() string {
+	if id == 0 {
+		return "obj<nil>"
+	}
+	return fmt.Sprintf("%s#%d.g%d", id.Type(), id.slot(), id.gen())
+}

@@ -1,0 +1,217 @@
+package ck
+
+import (
+	"fmt"
+	"testing"
+
+	"vpp/internal/hw"
+	"vpp/internal/pagetable"
+	"vpp/internal/sim"
+)
+
+// checkInvariants verifies the structural invariants the dependency
+// model (Figure 6) promises, over the whole Cache Kernel state.
+func checkInvariants(t *testing.T, k *Kernel) {
+	t.Helper()
+	fail := func(format string, args ...any) {
+		t.Helper()
+		t.Fatalf("invariant: "+format, args...)
+	}
+
+	// Threads reference loaded spaces; containment maps agree.
+	k.threads.forEach(func(idx int32, to *ThreadObj) bool {
+		if to.space == nil {
+			fail("thread %v has nil space", to.id)
+		}
+		if got, ok := k.spaces.get(to.space.slot, to.space.id.gen()); !ok || got != to.space {
+			fail("thread %v references unloaded space %v", to.id, to.space.id)
+		}
+		if to.space.threads[to.slot] != to {
+			fail("space %v does not contain its thread %v", to.space.id, to.id)
+		}
+		if to.owner.threads[to.slot] != to {
+			fail("kernel %q does not own its thread %v", to.owner.attrs.Name, to.id)
+		}
+		return true
+	})
+
+	// Spaces: containment and page-table/pmap agreement.
+	totalPV := 0
+	k.spaces.forEach(func(idx int32, so *SpaceObj) bool {
+		if _, ok := k.kernels.get(so.owner.slot, so.owner.id.gen()); !ok {
+			fail("space %v owned by unloaded kernel", so.id)
+		}
+		n := 0
+		so.hw.Table.Walk(func(va uint32, pte pagetable.PTE) bool {
+			n++
+			// Each PTE must have exactly one physical-to-virtual record.
+			found := 0
+			k.pm.findEach(depPhysVirt, pte.PFN(), func(_ int32, r *depRecord) bool {
+				if r.dep == va && r.owner() == so.slot {
+					found++
+				}
+				return true
+			})
+			if found != 1 {
+				fail("mapping (%v, %#x) has %d dependency records", so.id, va, found)
+			}
+			return true
+		})
+		if n != so.mappings {
+			fail("space %v mapping count %d != table pages %d", so.id, so.mappings, n)
+		}
+		totalPV += n
+		return true
+	})
+
+	// Every live pmap record is consistent; totals match.
+	live := 0
+	for i := range k.pm.recs {
+		r := &k.pm.recs[i]
+		switch r.kind() {
+		case depFree:
+			continue
+		case depPhysVirt:
+			live++
+			so := k.spaces.at(r.owner())
+			pte, ok := so.hw.Table.Lookup(r.dep)
+			if !ok || pte.PFN() != r.key {
+				fail("pv record %d (va %#x) disagrees with page table", i, r.dep)
+			}
+		case depSignal:
+			live++
+			pv := k.pm.rec(int32(r.key))
+			if pv.kind() != depPhysVirt {
+				fail("signal record %d references non-pv record %d", i, r.key)
+			}
+			to := k.threads.at(int32(r.dep))
+			if _, tracked := to.sigRecords[int32(i)]; !tracked {
+				fail("signal record %d not tracked by its thread", i)
+			}
+		case depCopyOnWrite:
+			live++
+			if k.pm.rec(int32(r.key)).kind() != depPhysVirt {
+				fail("cow record %d references non-pv record", i)
+			}
+		}
+	}
+	if live != k.pm.Live() {
+		fail("pmap live count %d != scanned %d", k.pm.Live(), live)
+	}
+	if free := len(k.pm.free); free+live != k.pm.Capacity() {
+		fail("pmap free %d + live %d != capacity %d", free, live, k.pm.Capacity())
+	}
+
+	// Ready queues hold only loaded, ready, unique threads.
+	seen := map[*ThreadObj]bool{}
+	for p := range k.sched.ready {
+		for _, to := range k.sched.ready[p] {
+			if seen[to] {
+				fail("thread %v queued twice", to.id)
+			}
+			seen[to] = true
+			if to.state != threadReady {
+				fail("queued thread %v in state %d", to.id, to.state)
+			}
+			if got, ok := k.threads.get(to.slot, to.id.gen()); !ok || got != to {
+				fail("queued thread %v is unloaded", to.id)
+			}
+		}
+	}
+}
+
+// TestRandomOpSequencesPreserveInvariants drives the Cache Kernel with
+// deterministic random operation mixes under a deliberately tiny cache
+// geometry (constant eviction pressure) and verifies the dependency
+// invariants after every operation.
+func TestRandomOpSequencesPreserveInvariants(t *testing.T) {
+	for seed := uint64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			fuzzOnce(t, seed, 300)
+		})
+	}
+}
+
+func fuzzOnce(t *testing.T, seed uint64, ops int) {
+	cfg := Config{
+		KernelSlots: 4, SpaceSlots: 6, ThreadSlots: 10,
+		MappingSlots: 48, PMapBuckets: 16,
+	}
+	env := newEnv(t, cfg, func(env *testEnv, e *hw.Exec) {
+		k := env.k
+		r := sim.NewRand(seed)
+		var spaces []ObjID
+		var threads []ObjID
+		nextVA := func() uint32 {
+			return 0x2000_0000 + uint32(r.Intn(64))*hw.PageSize
+		}
+		for i := 0; i < ops; i++ {
+			switch r.Intn(10) {
+			case 0: // load space
+				if sid, err := k.LoadSpace(e, r.Intn(8) == 0); err == nil {
+					spaces = append(spaces, sid)
+				}
+			case 1: // unload a random space
+				if len(spaces) > 0 {
+					sid := spaces[r.Intn(len(spaces))]
+					_ = k.UnloadSpace(e, sid)
+				}
+			case 2, 3: // load thread into a random space
+				if len(spaces) > 0 {
+					sid := spaces[r.Intn(len(spaces))]
+					exec := env.m.MPMs[0].NewExec("fuzz", func(we *hw.Exec) {
+						for {
+							if _, err := k.WaitSignal(we); err != nil {
+								return
+							}
+						}
+					})
+					if tid, err := k.LoadThread(e, sid, ThreadState{Priority: 5 + r.Intn(20), Exec: exec}, false); err == nil {
+						threads = append(threads, tid)
+					}
+				}
+			case 4: // unload a random thread
+				if len(threads) > 0 {
+					tid := threads[r.Intn(len(threads))]
+					_, _ = k.UnloadThread(e, tid)
+				}
+			case 5, 6, 7: // load a mapping, sometimes with a signal thread
+				if len(spaces) > 0 {
+					sid := spaces[r.Intn(len(spaces))]
+					spec := MappingSpec{
+						VA: nextVA(), PFN: uint32(300 + r.Intn(256)),
+						Writable: r.Intn(2) == 0, Cachable: true,
+						Message: r.Intn(4) == 0,
+						Locked:  r.Intn(16) == 0,
+					}
+					if len(threads) > 0 && r.Intn(3) == 0 {
+						spec.SignalThread = threads[r.Intn(len(threads))]
+					}
+					if r.Intn(8) == 0 {
+						spec.CopyOnWriteFrom = uint32(300 + r.Intn(256))
+					}
+					_ = k.LoadMapping(e, sid, spec)
+				}
+			case 8: // unload a mapping
+				if len(spaces) > 0 {
+					sid := spaces[r.Intn(len(spaces))]
+					_, _ = k.UnloadMapping(e, sid, nextVA())
+				}
+			case 9: // signal or re-prioritize a thread
+				if len(threads) > 0 {
+					tid := threads[r.Intn(len(threads))]
+					if r.Intn(2) == 0 {
+						_ = k.PostSignal(e, tid, uint32(i))
+					} else {
+						_ = k.SetThreadPriority(e, tid, 1+r.Intn(30))
+					}
+				}
+			}
+			e.Charge(uint64(100 + r.Intn(2000)))
+			checkInvariants(t, k)
+		}
+	})
+	env.run()
+	checkInvariants(t, env.k)
+}

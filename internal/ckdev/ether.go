@@ -1,0 +1,297 @@
+// Package ckdev implements the Cache Kernel's device interfaces in the
+// memory-based messaging model (paper §2.2): "the Ethernet device in our
+// implementation is provided as memory-mapped transmission and reception
+// memory regions. The client thread sends a signal to the Ethernet
+// driver in the Cache Kernel to transmit a packet with the signal
+// address indicating the packet buffer to transmit. On reception, a
+// signal is generated to the receiving thread with the signal address
+// indicating the buffer holding the new packet."
+//
+// Because the Ethernet chip has a conventional DMA interface, the driver
+// is the one device that needs real code (the paper's point); the fiber
+// channel fits the model directly and needs almost none (see
+// internal/hw/dev).
+package ckdev
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"vpp/internal/aklib"
+	"vpp/internal/ck"
+	"vpp/internal/hw"
+	"vpp/internal/hw/dev"
+)
+
+// Ring geometry: each region is a run of page-sized packet buffers. The
+// first word of a buffer is the frame length; the frame follows.
+const (
+	TxSlots = 4
+	RxSlots = 4
+	slotCap = hw.PageSize - 8
+)
+
+// Ethernet is the driver instance for one NIC, owned by the kernel that
+// opened it.
+type Ethernet struct {
+	NIC *dev.NIC
+	AK  *aklib.AppKernel
+
+	// Region physical frames: TX buffers, one TX doorbell page, RX
+	// buffers, one RX doorbell page.
+	txFrames, rxFrames []uint32
+	txBell, rxBell     uint32
+
+	// Driver-side virtual window (in the owning kernel's space).
+	drvBase uint32
+
+	driver *aklib.Thread
+	client ck.ObjID // thread signalled on reception
+	rxNext int
+	stop   bool
+
+	// Stats.
+	TxPackets, RxPackets, RxOverruns uint64
+}
+
+// Layout of the client window returned by Open.
+type ClientWindow struct {
+	TxBase uint32 // TxSlots packet buffers
+	TxBell uint32 // write slot number here to transmit
+	RxBase uint32 // RxSlots packet buffers
+	RxBell uint32 // driver writes slot numbers here (signals the client)
+}
+
+// Open creates the driver: it allocates the regions from the owning
+// kernel's frames, maps the driver-side window, starts the driver
+// thread, and maps the client-side window into clientSID with the
+// doorbell pages in message mode — the client transmits by writing a
+// packet and ringing its TX doorbell, and receives address-valued
+// signals on its RX doorbell.
+func Open(e *hw.Exec, ak *aklib.AppKernel, nic *dev.NIC, clientSID ck.ObjID,
+	clientThread ck.ObjID, win ClientWindow, drvBase uint32) (*Ethernet, error) {
+
+	d := &Ethernet{NIC: nic, AK: ak, drvBase: drvBase, client: clientThread}
+	alloc := func(n int) ([]uint32, error) {
+		out := make([]uint32, n)
+		for i := range out {
+			pfn, ok := ak.Frames.Alloc()
+			if !ok {
+				return nil, fmt.Errorf("ckdev: out of frames")
+			}
+			out[i] = pfn
+		}
+		return out, nil
+	}
+	var err error
+	if d.txFrames, err = alloc(TxSlots); err != nil {
+		return nil, err
+	}
+	if d.rxFrames, err = alloc(RxSlots); err != nil {
+		return nil, err
+	}
+	bells, err := alloc(2)
+	if err != nil {
+		return nil, err
+	}
+	d.txBell, d.rxBell = bells[0], bells[1]
+
+	// Driver thread: receives TX doorbell signals and NIC interrupts.
+	d.driver = ak.NewThread("etherd", ak.SpaceID, 37, d.run)
+	if err := d.driver.Load(e, false); err != nil {
+		return nil, err
+	}
+	nic.OnRx = func() {
+		if d.driver.Loaded {
+			ak.CK.RaiseDeviceSignal(d.driver.TID, rxIRQMark)
+		}
+	}
+
+	k := ak.CK
+	mapRun := func(sid ck.ObjID, base uint32, frames []uint32, writable bool) error {
+		for i, pfn := range frames {
+			if err := k.LoadMapping(e, sid, ck.MappingSpec{
+				VA: base + uint32(i)*hw.PageSize, PFN: pfn,
+				Writable: writable, Cachable: true,
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Driver window: everything writable.
+	if err := mapRun(ak.SpaceID, d.drvTxBase(), d.txFrames, true); err != nil {
+		return nil, err
+	}
+	if err := mapRun(ak.SpaceID, d.drvRxBase(), d.rxFrames, true); err != nil {
+		return nil, err
+	}
+	// Driver's view of the TX doorbell carries the driver signal thread;
+	// its view of the RX doorbell is the writable signalling side.
+	if err := k.LoadMapping(e, ak.SpaceID, ck.MappingSpec{
+		VA: d.drvTxBell(), PFN: d.txBell, Message: true, SignalThread: d.driver.TID,
+	}); err != nil {
+		return nil, err
+	}
+	if err := k.LoadMapping(e, ak.SpaceID, ck.MappingSpec{
+		VA: d.drvRxBell(), PFN: d.rxBell, Writable: true, Message: true,
+	}); err != nil {
+		return nil, err
+	}
+	// Client window.
+	if err := mapRun(clientSID, win.TxBase, d.txFrames, true); err != nil {
+		return nil, err
+	}
+	if err := mapRun(clientSID, win.RxBase, d.rxFrames, false); err != nil {
+		return nil, err
+	}
+	if err := k.LoadMapping(e, clientSID, ck.MappingSpec{
+		VA: win.TxBell, PFN: d.txBell, Writable: true, Message: true,
+	}); err != nil {
+		return nil, err
+	}
+	if err := k.LoadMapping(e, clientSID, ck.MappingSpec{
+		VA: win.RxBell, PFN: d.rxBell, Message: true, SignalThread: clientThread,
+	}); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// rxIRQMark distinguishes NIC interrupts from doorbell signals: doorbell
+// signal values are virtual addresses in the driver window, which is
+// below this marker.
+const rxIRQMark = 0xffff_fff0
+
+func (d *Ethernet) drvTxBase() uint32 { return d.drvBase }
+func (d *Ethernet) drvRxBase() uint32 { return d.drvBase + TxSlots*hw.PageSize }
+func (d *Ethernet) drvTxBell() uint32 {
+	return d.drvBase + (TxSlots+RxSlots)*hw.PageSize
+}
+func (d *Ethernet) drvRxBell() uint32 {
+	return d.drvBase + (TxSlots+RxSlots+1)*hw.PageSize
+}
+
+// Stop halts the driver thread.
+func (d *Ethernet) Stop(e *hw.Exec) {
+	d.stop = true
+	if d.driver.Loaded {
+		_ = d.AK.CK.PostSignal(e, d.driver.TID, rxIRQMark)
+	}
+}
+
+// run is the driver loop: each signal is either a TX doorbell (an
+// address in the driver's TX bell page, identifying the slot) or an RX
+// interrupt from the DMA engine.
+func (d *Ethernet) run(e *hw.Exec) {
+	k := d.AK.CK
+	for !d.stop {
+		sig, err := k.WaitSignal(e)
+		if err != nil {
+			return
+		}
+		if sig >= rxIRQMark {
+			d.drainNIC(e)
+			continue
+		}
+		if sig >= d.drvTxBell() && sig < d.drvTxBell()+hw.PageSize {
+			slot := int(sig-d.drvTxBell()) / 4 % TxSlots
+			d.transmit(e, slot)
+		}
+	}
+}
+
+// transmit DMAs the packet in a TX slot onto the wire.
+func (d *Ethernet) transmit(e *hw.Exec, slot int) {
+	va := d.drvTxBase() + uint32(slot)*hw.PageSize
+	n := e.Load32(va)
+	if n == 0 || n > slotCap {
+		return
+	}
+	frame := make([]byte, n)
+	pa := d.txFrames[slot] << hw.PageShift
+	phys := e.MPM.Machine.Phys
+	for i := uint32(0); i < n; i++ {
+		frame[i] = phys.Read8(pa + 8 + i)
+	}
+	e.Charge(uint64(n/4) * hw.CostDeviceDMAWord)
+	if err := d.NIC.Transmit(e, frame); err == nil {
+		d.TxPackets++
+	}
+}
+
+// drainNIC copies received frames into RX slots and rings the client's
+// doorbell for each.
+func (d *Ethernet) drainNIC(e *hw.Exec) {
+	phys := e.MPM.Machine.Phys
+	for {
+		frame, ok := d.NIC.Recv(e)
+		if !ok {
+			return
+		}
+		if len(frame) > slotCap {
+			d.RxOverruns++
+			continue
+		}
+		slot := d.rxNext
+		d.rxNext = (d.rxNext + 1) % RxSlots
+		pa := d.rxFrames[slot] << hw.PageShift
+		var lenBuf [4]byte
+		binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(frame)))
+		phys.WriteBytes(pa, lenBuf[:])
+		phys.WriteBytes(pa+8, frame)
+		e.Charge(uint64(len(frame)/4) * hw.CostDeviceDMAWord)
+		d.RxPackets++
+		// Ring the client's RX doorbell: the message write generates an
+		// address-valued signal naming the slot.
+		e.Store32(d.drvRxBell()+uint32(slot)*4, uint32(len(frame)))
+	}
+}
+
+// Client helpers (a tiny user-space library over the windows).
+
+// Send writes a frame into TX slot and rings the doorbell. Runs in the
+// client thread.
+func Send(e *hw.Exec, win ClientWindow, slot int, frame []byte) error {
+	if len(frame) > slotCap {
+		return fmt.Errorf("ckdev: frame too large")
+	}
+	base := win.TxBase + uint32(slot)*hw.PageSize
+	for i := 0; i+4 <= len(frame); i += 4 {
+		e.Store32(base+8+uint32(i), binary.LittleEndian.Uint32(frame[i:]))
+	}
+	for i := len(frame) &^ 3; i < len(frame); i++ {
+		e.Store8(base+8+uint32(i), frame[i])
+	}
+	e.Store32(base, uint32(len(frame)))
+	e.Store32(win.TxBell+uint32(slot)*4, 1) // the signalling write
+	return nil
+}
+
+// Recv blocks the client thread for the next received frame.
+func Recv(e *hw.Exec, k *ck.Kernel, win ClientWindow) ([]byte, error) {
+	for {
+		sig, err := k.WaitSignal(e)
+		if err != nil {
+			return nil, err
+		}
+		if sig < win.RxBell || sig >= win.RxBell+RxSlots*4 {
+			continue
+		}
+		slot := (sig - win.RxBell) / 4
+		base := win.RxBase + slot*hw.PageSize
+		n := e.Load32(base)
+		if n > slotCap {
+			return nil, fmt.Errorf("ckdev: corrupt rx slot")
+		}
+		out := make([]byte, n)
+		for i := uint32(0); i+4 <= n; i += 4 {
+			binary.LittleEndian.PutUint32(out[i:], e.Load32(base+8+i))
+		}
+		for i := n &^ 3; i < n; i++ {
+			out[i] = e.Load8(base + 8 + i)
+		}
+		k.SignalReturn(e)
+		return out, nil
+	}
+}

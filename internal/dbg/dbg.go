@@ -1,0 +1,347 @@
+// Package dbg implements the debugging support the paper folds into the
+// Cache Kernel's PROM monitor ("PROM monitor, remote debugging and
+// booting support", §5.1) using the caching model's own §2.3 mechanism:
+// "a thread being debugged is also unloaded when it hits a breakpoint.
+// Its state can then be examined and reloaded on user request."
+//
+// A breakpoint is a debug trap. The owning application kernel's handler
+// forwards it to the Debugger, which unloads the thread — the thread
+// simply ceases to be a candidate for execution, no scheduler state
+// machinery required — and parks the trap until a continue request
+// reloads it. Examination reads the saved ThreadState and the process
+// memory through the segment manager. The remote side speaks a tiny
+// UDP protocol over the netboot stack, like the original's remote
+// debugging over the boot network.
+package dbg
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"vpp/internal/aklib"
+	"vpp/internal/ck"
+	"vpp/internal/hw"
+	"vpp/internal/netboot"
+)
+
+// SysBreakpoint is the debug trap number (chosen clear of the UNIX
+// emulator's table).
+const SysBreakpoint = 200
+
+// Breakpoint is what a debugged program calls where a breakpoint
+// instruction would sit; tag identifies the site.
+func Breakpoint(e *hw.Exec, tag uint32) {
+	e.Trap(SysBreakpoint, tag)
+}
+
+// Stopped describes one thread halted at a breakpoint.
+type Stopped struct {
+	Thread *aklib.Thread
+	Tag    uint32
+	State  ck.ThreadState
+
+	// origTID is the identifier the thread held when it hit the
+	// breakpoint; the stop is visible only once that identifier no
+	// longer names a loaded thread (the unload has completed).
+	origTID ck.ObjID
+}
+
+// Debugger manages breakpoints for one application kernel.
+type Debugger struct {
+	AK *aklib.AppKernel
+
+	stopped map[uint32]*Stopped // keyed by stop id
+	nextID  uint32
+
+	// Hits counts breakpoints taken.
+	Hits uint64
+}
+
+// New creates a debugger and hooks the kernel's trap table: the caller's
+// existing OnTrap keeps handling everything but SysBreakpoint.
+func New(ak *aklib.AppKernel) *Debugger {
+	d := &Debugger{AK: ak, stopped: make(map[uint32]*Stopped), nextID: 1}
+	prev := ak.OnTrap
+	ak.OnTrap = func(e *hw.Exec, thread ck.ObjID, no uint32, args []uint32) (uint32, uint32) {
+		if no == SysBreakpoint {
+			var tag uint32
+			if len(args) > 0 {
+				tag = args[0]
+			}
+			return d.hit(e, thread, tag)
+		}
+		if prev != nil {
+			return prev(e, thread, no, args)
+		}
+		return ^uint32(0), 0
+	}
+	return d
+}
+
+// hit runs in the stopped thread's context: unload self, wait for the
+// continue request, resume.
+func (d *Debugger) hit(e *hw.Exec, thread ck.ObjID, tag uint32) (uint32, uint32) {
+	d.Hits++
+	th := d.AK.ThreadByID(thread)
+	if th == nil {
+		return ^uint32(0), 1
+	}
+	id := d.nextID
+	d.nextID++
+	st := &Stopped{
+		Thread:  th,
+		Tag:     tag,
+		State:   ck.ThreadState{Priority: th.Priority(), Exec: th.Exec},
+		origTID: th.TID,
+	}
+	d.stopped[id] = st
+
+	// Unload self; the trap blocks here until a Continue reloads the
+	// thread. The stop becomes visible to List/Examine only once the
+	// descriptor is gone, so an examiner can never race the unload.
+	tid := th.TID
+	th.MarkUnloaded()
+	if _, err := d.AK.CK.UnloadThread(e, tid); err != nil {
+		delete(d.stopped, id)
+		return ^uint32(0), 1
+	}
+	// Reloaded: back from the breakpoint.
+	return id, 0
+}
+
+// visible reports whether a stop's unload has completed.
+func (d *Debugger) visible(st *Stopped) bool {
+	return !d.AK.CK.Loaded(st.origTID)
+}
+
+// List reports the currently stopped threads (stop ids in order).
+func (d *Debugger) List() []uint32 {
+	var ids []uint32
+	for id := uint32(1); id < d.nextID; id++ {
+		if st, ok := d.stopped[id]; ok && d.visible(st) {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// Examine returns a stopped thread's saved state.
+func (d *Debugger) Examine(id uint32) (*Stopped, bool) {
+	st, ok := d.stopped[id]
+	if !ok || !d.visible(st) {
+		return nil, false
+	}
+	return st, true
+}
+
+// ReadMemory reads n bytes of the stopped thread's address space at va
+// through its segment manager (the thread itself is not runnable, but
+// its memory is examinable — the paper's "its state can then be
+// examined").
+func (d *Debugger) ReadMemory(e *hw.Exec, id uint32, va, nbytes uint32) ([]byte, bool) {
+	st, ok := d.stopped[id]
+	if !ok {
+		return nil, false
+	}
+	sm := d.AK.SpaceManager(st.Thread.SpaceID)
+	if sm == nil {
+		return nil, false
+	}
+	out := make([]byte, 0, nbytes)
+	for i := uint32(0); i < nbytes; i++ {
+		pa, ok := sm.ResolvePA(e, va+i)
+		if !ok {
+			return nil, false
+		}
+		e.Charge(hw.CostMemHit)
+		out = append(out, e.MPM.Machine.Phys.Read8(pa))
+	}
+	return out, true
+}
+
+// Continue reloads a stopped thread; it resumes inside its breakpoint
+// trap.
+func (d *Debugger) Continue(e *hw.Exec, id uint32) error {
+	st, ok := d.stopped[id]
+	if !ok || !d.visible(st) {
+		return fmt.Errorf("dbg: no stopped thread %d", id)
+	}
+	delete(d.stopped, id)
+	return st.Thread.Load(e, false)
+}
+
+// --- remote protocol over the boot network ---
+
+// UDP port and opcodes of the remote debug protocol.
+const (
+	Port = 2010
+
+	opList     = 1
+	opExamine  = 2
+	opRead     = 3
+	opContinue = 4
+	opReply    = 0x80
+)
+
+// Server serves the debugger over a netboot UDP stack; run on a
+// dedicated application-kernel thread.
+type Server struct {
+	D     *Debugger
+	Stack *netboot.Stack
+	stop  bool
+	// Served counts handled requests.
+	Served uint64
+}
+
+// Serve loops handling requests until Stop.
+func (s *Server) Serve(e *hw.Exec) error {
+	conn, err := s.Stack.Bind(Port)
+	if err != nil {
+		return err
+	}
+	for !s.stop {
+		req, ok := conn.Recv(e, hw.CyclesFromMicros(50_000))
+		if !ok {
+			continue
+		}
+		if len(req.Payload) < 1 {
+			continue
+		}
+		reply := s.handle(e, req.Payload)
+		_ = conn.SendTo(e, req.Src, req.SrcPort, reply)
+		s.Served++
+	}
+	return nil
+}
+
+// Stop ends the serve loop at its next poll.
+func (s *Server) Stop() { s.stop = true }
+
+func (s *Server) handle(e *hw.Exec, req []byte) []byte {
+	op := req[0]
+	out := []byte{op | opReply}
+	u32 := func(off int) uint32 {
+		if len(req) < off+4 {
+			return 0
+		}
+		return binary.LittleEndian.Uint32(req[off:])
+	}
+	switch op {
+	case opList:
+		ids := s.D.List()
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(ids)))
+		for _, id := range ids {
+			out = binary.LittleEndian.AppendUint32(out, id)
+		}
+	case opExamine:
+		st, ok := s.D.Examine(u32(1))
+		if !ok {
+			return append(out, 0)
+		}
+		out = append(out, 1)
+		out = binary.LittleEndian.AppendUint32(out, st.Tag)
+		out = binary.LittleEndian.AppendUint32(out, uint32(st.State.Priority))
+	case opRead:
+		data, ok := s.D.ReadMemory(e, u32(1), u32(5), u32(9)&0x3ff)
+		if !ok {
+			return append(out, 0)
+		}
+		out = append(out, 1)
+		out = append(out, data...)
+	case opContinue:
+		if err := s.D.Continue(e, u32(1)); err != nil {
+			return append(out, 0)
+		}
+		out = append(out, 1)
+	}
+	return out
+}
+
+// Client drives a remote debugger from another node.
+type Client struct {
+	Stack  *netboot.Stack
+	Server netboot.IP
+	conn   *netboot.UDPConn
+}
+
+// Dial binds the client port.
+func (c *Client) Dial(port uint16) error {
+	conn, err := c.Stack.Bind(port)
+	if err != nil {
+		return err
+	}
+	c.conn = conn
+	return nil
+}
+
+func (c *Client) call(e *hw.Exec, req []byte) ([]byte, error) {
+	if err := c.conn.SendTo(e, c.Server, Port, req); err != nil {
+		return nil, err
+	}
+	d, ok := c.conn.Recv(e, hw.CyclesFromMicros(300_000))
+	if !ok {
+		return nil, fmt.Errorf("dbg: request timed out")
+	}
+	if len(d.Payload) < 1 || d.Payload[0] != req[0]|opReply {
+		return nil, fmt.Errorf("dbg: mismatched reply")
+	}
+	return d.Payload[1:], nil
+}
+
+// List fetches the stopped-thread ids.
+func (c *Client) List(e *hw.Exec) ([]uint32, error) {
+	b, err := c.call(e, []byte{opList})
+	if err != nil {
+		return nil, err
+	}
+	if len(b) < 4 {
+		return nil, fmt.Errorf("dbg: short list reply")
+	}
+	n := binary.LittleEndian.Uint32(b)
+	var ids []uint32
+	for i := uint32(0); i < n && 4+i*4+4 <= uint32(len(b)); i++ {
+		ids = append(ids, binary.LittleEndian.Uint32(b[4+i*4:]))
+	}
+	return ids, nil
+}
+
+// Examine fetches a stopped thread's tag and priority.
+func (c *Client) Examine(e *hw.Exec, id uint32) (tag uint32, prio int, err error) {
+	req := binary.LittleEndian.AppendUint32([]byte{opExamine}, id)
+	b, err := c.call(e, req)
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(b) < 9 || b[0] != 1 {
+		return 0, 0, fmt.Errorf("dbg: examine failed")
+	}
+	return binary.LittleEndian.Uint32(b[1:]), int(binary.LittleEndian.Uint32(b[5:])), nil
+}
+
+// ReadMemory reads the stopped thread's memory remotely.
+func (c *Client) ReadMemory(e *hw.Exec, id, va, n uint32) ([]byte, error) {
+	req := binary.LittleEndian.AppendUint32([]byte{opRead}, id)
+	req = binary.LittleEndian.AppendUint32(req, va)
+	req = binary.LittleEndian.AppendUint32(req, n)
+	b, err := c.call(e, req)
+	if err != nil {
+		return nil, err
+	}
+	if len(b) < 1 || b[0] != 1 {
+		return nil, fmt.Errorf("dbg: read failed")
+	}
+	return b[1:], nil
+}
+
+// Continue resumes a stopped thread remotely.
+func (c *Client) Continue(e *hw.Exec, id uint32) error {
+	req := binary.LittleEndian.AppendUint32([]byte{opContinue}, id)
+	b, err := c.call(e, req)
+	if err != nil {
+		return err
+	}
+	if len(b) < 1 || b[0] != 1 {
+		return fmt.Errorf("dbg: continue refused")
+	}
+	return nil
+}

@@ -1,0 +1,232 @@
+// Package dbk is a database application kernel: it manages its own
+// buffer pool of physical frames and Cache Kernel mappings so page
+// replacement can exploit query knowledge — the motivating example of
+// the paper's introduction, where "the standard page-replacement
+// policies of UNIX-like operating systems perform poorly for
+// applications with random or sequential access" (citing Kearns and
+// DeFazio). A sequential scan with an LRU pool floods out the hot set a
+// point-query workload depends on; the query-aware policy drops scan
+// pages eagerly and keeps the hot set resident.
+package dbk
+
+import (
+	"fmt"
+
+	"vpp/internal/aklib"
+	"vpp/internal/ck"
+	"vpp/internal/hw"
+)
+
+// Policy selects the buffer replacement strategy.
+type Policy int
+
+// Replacement policies.
+const (
+	// PolicyLRU is the fixed OS-style policy.
+	PolicyLRU Policy = iota
+	// PolicyQueryAware evicts pages brought in by sequential scans
+	// first (effectively MRU for scans), preserving the point-query
+	// working set.
+	PolicyQueryAware
+)
+
+func (p Policy) String() string {
+	if p == PolicyQueryAware {
+		return "query-aware"
+	}
+	return "lru"
+}
+
+// TableStore is the database's disk: table pages with a charged per-page
+// transfer latency.
+type TableStore struct {
+	Pages       uint32
+	LatencyCyc  uint64
+	Reads       uint64
+	Writes      uint64
+	pageContent map[uint32]uint32 // first word per page, for verification
+}
+
+// NewTableStore creates a store of n pages; page i's first word is
+// seeded deterministically.
+func NewTableStore(n uint32, latency uint64) *TableStore {
+	s := &TableStore{Pages: n, LatencyCyc: latency, pageContent: make(map[uint32]uint32)}
+	for i := uint32(0); i < n; i++ {
+		s.pageContent[i] = i*2654435761 + 1
+	}
+	return s
+}
+
+// readPage charges the transfer and fills the frame's first word.
+func (s *TableStore) readPage(e *hw.Exec, page, pfn uint32) {
+	e.Charge(s.LatencyCyc)
+	s.Reads++
+	e.MPM.Machine.Phys.Write32(pfn<<hw.PageShift, s.pageContent[page])
+}
+
+// writePage charges the transfer for a dirty page.
+func (s *TableStore) writePage(e *hw.Exec, page, pfn uint32) {
+	e.Charge(s.LatencyCyc)
+	s.Writes++
+	s.pageContent[page] = e.MPM.Machine.Phys.Read32(pfn << hw.PageShift)
+}
+
+// poolSlot is one buffer-pool frame.
+type poolSlot struct {
+	page     uint32
+	valid    bool
+	dirty    bool
+	lastUsed uint64
+	fromScan bool
+	pfn      uint32
+}
+
+// DB is one database kernel instance.
+type DB struct {
+	AK     *aklib.AppKernel
+	Store  *TableStore
+	Policy Policy
+
+	base  uint32 // pool window VA
+	slots []poolSlot
+	// byPage maps a resident table page to its slot.
+	byPage map[uint32]int
+
+	// Stats.
+	Hits, Misses uint64
+}
+
+// New creates a database kernel with a pool of poolFrames frames mapped
+// at a fixed window in the kernel's own space.
+func New(e *hw.Exec, ak *aklib.AppKernel, store *TableStore, poolFrames int, policy Policy) (*DB, error) {
+	db := &DB{
+		AK: ak, Store: store, Policy: policy,
+		base:   0x3000_0000,
+		slots:  make([]poolSlot, poolFrames),
+		byPage: make(map[uint32]int),
+	}
+	for i := range db.slots {
+		pfn, ok := ak.Frames.Alloc()
+		if !ok {
+			return nil, fmt.Errorf("dbk: out of frames for the buffer pool")
+		}
+		db.slots[i].pfn = pfn
+	}
+	return db, nil
+}
+
+// slotVA is the pool window address of slot i.
+func (db *DB) slotVA(i int) uint32 { return db.base + uint32(i)*hw.PageSize }
+
+// access makes a table page resident and returns its pool VA. scan
+// marks the access as part of a sequential scan for the query-aware
+// policy.
+func (db *DB) access(e *hw.Exec, page uint32, scan bool) (uint32, error) {
+	if i, ok := db.byPage[page]; ok {
+		db.Hits++
+		db.slots[i].lastUsed = e.Now()
+		if !scan {
+			db.slots[i].fromScan = false // promoted by a point access
+		}
+		e.Instr(6)
+		return db.slotVA(i), nil
+	}
+	db.Misses++
+	i := db.victim()
+	s := &db.slots[i]
+	if s.valid {
+		// Unload the mapping to collect the hardware modified bit, then
+		// write back if dirty.
+		st, err := db.AK.CK.UnloadMapping(e, db.AK.SpaceID, db.slotVA(i))
+		if err == nil {
+			s.dirty = s.dirty || st.Modified
+		}
+		if s.dirty {
+			db.Store.writePage(e, s.page, s.pfn)
+		}
+		delete(db.byPage, s.page)
+	}
+	db.Store.readPage(e, page, s.pfn)
+	if err := db.AK.CK.LoadMapping(e, db.AK.SpaceID, ck.MappingSpec{
+		VA: db.slotVA(i), PFN: s.pfn, Writable: true, Cachable: true,
+	}); err != nil {
+		return 0, err
+	}
+	*s = poolSlot{page: page, valid: true, lastUsed: e.Now(), fromScan: scan, pfn: s.pfn}
+	db.byPage[page] = i
+	return db.slotVA(i), nil
+}
+
+// victim picks a replacement slot by policy.
+func (db *DB) victim() int {
+	// Free slot first.
+	for i := range db.slots {
+		if !db.slots[i].valid {
+			return i
+		}
+	}
+	best := 0
+	if db.Policy == PolicyQueryAware {
+		// Prefer the oldest scan page; fall back to global LRU.
+		bestScan := -1
+		for i := range db.slots {
+			if db.slots[i].fromScan &&
+				(bestScan < 0 || db.slots[i].lastUsed < db.slots[bestScan].lastUsed) {
+				bestScan = i
+			}
+		}
+		if bestScan >= 0 {
+			return bestScan
+		}
+	}
+	for i := 1; i < len(db.slots); i++ {
+		if db.slots[i].lastUsed < db.slots[best].lastUsed {
+			best = i
+		}
+	}
+	return best
+}
+
+// SeqScan reads every table page in order (aggregation-style), touching
+// a few words per page.
+func (db *DB) SeqScan(e *hw.Exec) (uint32, error) {
+	var sum uint32
+	for p := uint32(0); p < db.Store.Pages; p++ {
+		va, err := db.access(e, p, true)
+		if err != nil {
+			return 0, err
+		}
+		sum += e.Load32(va)
+		e.Load32(va + 256)
+		e.Instr(20) // per-tuple evaluation
+	}
+	return sum, nil
+}
+
+// Lookup reads the page holding key (point query).
+func (db *DB) Lookup(e *hw.Exec, key uint32) (uint32, error) {
+	page := key % db.Store.Pages
+	va, err := db.access(e, page, false)
+	if err != nil {
+		return 0, err
+	}
+	e.Instr(12) // index walk
+	return e.Load32(va), nil
+}
+
+// Update writes into the page holding key, dirtying it.
+func (db *DB) Update(e *hw.Exec, key, val uint32) error {
+	page := key % db.Store.Pages
+	va, err := db.access(e, page, false)
+	if err != nil {
+		return err
+	}
+	e.Store32(va, val)
+	if i, ok := db.byPage[page]; ok {
+		db.slots[i].dirty = true
+	}
+	return nil
+}
+
+// Resident reports how many distinct pages are buffered.
+func (db *DB) Resident() int { return len(db.byPage) }

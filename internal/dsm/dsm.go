@@ -1,0 +1,281 @@
+// Package dsm implements page-granularity distributed shared memory
+// between application kernels on different MPMs — the "explicit
+// coordination between kernels, as required for distributed shared
+// memory implementation, [that] is provided by higher-level software"
+// (paper §3). The Cache Kernel contributes exactly what the paper says
+// it should: fault forwarding delivers the misses, mapping load/unload
+// moves pages in and out of each node's address space, and the fiber
+// channel carries the coherence traffic. The protocol itself — a
+// two-node, single-writer/multi-reader invalidation protocol in the IVY
+// tradition — lives entirely in user mode.
+package dsm
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"vpp/internal/aklib"
+	"vpp/internal/ck"
+	"vpp/internal/hw"
+	"vpp/internal/hw/dev"
+)
+
+// page coherence states.
+type pageMode uint8
+
+const (
+	pageInvalid pageMode = iota
+	pageShared           // read-only copy; peer may also hold one
+	pageOwned            // exclusive writable copy
+)
+
+// protocol opcodes.
+const (
+	msgFetchRead  = 1 // please send the page; keep a shared copy
+	msgFetchWrite = 2 // please send the page and relinquish it
+	msgInvalidate = 3 // drop your shared copy (upgrade elsewhere)
+	msgReply      = 4 // page data (fetch) or ack (invalidate)
+)
+
+// Node is one participant's view of a shared region.
+type Node struct {
+	AK   *aklib.AppKernel
+	Port *dev.FiberPort
+	ID   int // 0 or 1; node 0 initially owns every page
+
+	Base  uint32
+	Pages uint32
+
+	frames []uint32
+	state  []pageMode
+
+	netd        *aklib.Thread
+	replyWait   bool
+	replyPage   uint32
+	replyData   []byte
+	deferredReq []byte
+	stop        bool
+
+	// Stats.
+	Fetches, Upgrades, Invalidations, Serves uint64
+}
+
+// Attach creates a node over a shared region of n pages at base in the
+// kernel's own space, using the fiber port for coherence traffic. Call
+// from the kernel's main thread. Node 0 starts owning (and may
+// immediately write) every page; node 1 starts with nothing mapped.
+func Attach(e *hw.Exec, ak *aklib.AppKernel, port *dev.FiberPort, id int, base, pages uint32) (*Node, error) {
+	n := &Node{
+		AK: ak, Port: port, ID: id,
+		Base: base, Pages: pages,
+		frames: make([]uint32, pages),
+		state:  make([]pageMode, pages),
+	}
+	for i := uint32(0); i < pages; i++ {
+		pfn, ok := ak.Frames.Alloc()
+		if !ok {
+			return nil, fmt.Errorf("dsm: out of frames")
+		}
+		n.frames[i] = pfn
+		if id == 0 {
+			n.state[i] = pageOwned
+			if err := n.mapPage(e, i, true); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Faults in the region resolve through the coherence protocol; the
+	// hook sits on the kernel's own segment manager, which receives the
+	// forwarded faults regardless of which kernel owns the space.
+	ak.Mem.Hooks = append(ak.Mem.Hooks, func(fe *hw.Exec, va uint32, write bool) (bool, bool) {
+		if va >= base && va < base+pages*hw.PageSize {
+			return true, n.handleFault(fe, va, write)
+		}
+		return false, false
+	})
+	// The coherence server thread.
+	n.netd = ak.NewThread(fmt.Sprintf("dsm%d", id), ak.SpaceID, 39, n.serve)
+	if err := n.netd.Load(e, false); err != nil {
+		return nil, err
+	}
+	port.OnRx = func() {
+		if n.netd.Loaded {
+			ak.CK.RaiseDeviceSignal(n.netd.TID, 1)
+		}
+	}
+	return n, nil
+}
+
+// Stop halts the coherence server.
+func (n *Node) Stop(e *hw.Exec) {
+	n.stop = true
+	if n.netd.Loaded {
+		_ = n.AK.CK.PostSignal(e, n.netd.TID, 0)
+	}
+}
+
+// mapPage loads the page's Cache Kernel mapping at the current rights.
+func (n *Node) mapPage(e *hw.Exec, page uint32, writable bool) error {
+	return n.AK.CK.LoadMapping(e, n.AK.SpaceID, ck.MappingSpec{
+		VA: n.Base + page*hw.PageSize, PFN: n.frames[page],
+		Writable: writable, Cachable: true,
+	})
+}
+
+// unmapPage drops the page's mapping if loaded.
+func (n *Node) unmapPage(e *hw.Exec, page uint32) {
+	_, _ = n.AK.CK.UnloadMapping(e, n.AK.SpaceID, n.Base+page*hw.PageSize)
+}
+
+// handleFault resolves a miss (or write upgrade) through the peer.
+func (n *Node) handleFault(e *hw.Exec, va uint32, write bool) bool {
+	page := (va - n.Base) / hw.PageSize
+	switch n.state[page] {
+	case pageOwned:
+		// Racing with a concurrent serve that just downgraded us; the
+		// mapping is (re)loadable locally.
+		return n.mapPage(e, page, true) == nil
+	case pageShared:
+		if !write {
+			return n.mapPage(e, page, false) == nil
+		}
+		// Upgrade: invalidate the peer's shared copy.
+		n.Upgrades++
+		if !n.rpc(e, msgInvalidate, page, nil) {
+			return false
+		}
+		n.state[page] = pageOwned
+		n.unmapPage(e, page)
+		return n.mapPage(e, page, true) == nil
+	default: // invalid: fetch from the peer
+		n.Fetches++
+		op := byte(msgFetchRead)
+		if write {
+			op = msgFetchWrite
+		}
+		if !n.rpc(e, op, page, nil) {
+			return false
+		}
+		// Install the received page contents.
+		phys := e.MPM.Machine.Phys
+		phys.WriteBytes(n.frames[page]<<hw.PageShift, n.replyData)
+		e.Charge(hw.PageSize / 4 * hw.CostMemHit)
+		if write {
+			n.state[page] = pageOwned
+		} else {
+			n.state[page] = pageShared
+		}
+		return n.mapPage(e, page, write) == nil
+	}
+}
+
+// rpc sends a request and spins (in virtual time) for the reply; the
+// server thread fills replyData. The faulting thread and the server are
+// distinct threads of the same kernel, so incoming requests keep being
+// served while we wait — which is what makes crossing requests safe.
+func (n *Node) rpc(e *hw.Exec, op byte, page uint32, body []byte) bool {
+	n.replyWait = true
+	n.replyPage = page
+	n.replyData = nil
+	if err := n.send(e, op, page, body); err != nil {
+		return false
+	}
+	deadline := e.Now() + hw.CyclesFromMicros(500_000)
+	for n.replyWait {
+		if e.Now() > deadline {
+			return false
+		}
+		e.Charge(500)
+	}
+	return true
+}
+
+func (n *Node) send(e *hw.Exec, op byte, page uint32, body []byte) error {
+	msg := make([]byte, 5+len(body))
+	msg[0] = op
+	binary.LittleEndian.PutUint32(msg[1:5], page)
+	copy(msg[5:], body)
+	return n.Port.Send(e, msg)
+}
+
+// serve is the coherence server loop.
+func (n *Node) serve(e *hw.Exec) {
+	k := n.AK.CK
+	for !n.stop {
+		if _, err := k.WaitSignal(e); err != nil {
+			return
+		}
+		for {
+			msg, ok := n.Port.Recv(e)
+			if !ok {
+				break
+			}
+			n.handleMsg(e, msg)
+		}
+	}
+}
+
+func (n *Node) handleMsg(e *hw.Exec, msg []byte) {
+	if len(msg) < 5 {
+		return
+	}
+	op := msg[0]
+	page := binary.LittleEndian.Uint32(msg[1:5])
+	switch op {
+	case msgReply:
+		if n.replyWait && page == n.replyPage {
+			n.replyData = append([]byte(nil), msg[5:]...)
+			n.replyWait = false
+		}
+	case msgInvalidate:
+		n.Invalidations++
+		n.state[page] = pageInvalid
+		n.unmapPage(e, page)
+		_ = n.send(e, msgReply, page, nil)
+	case msgFetchRead, msgFetchWrite:
+		// Crossing-request tie-break: if this node also has a request
+		// outstanding for the same page, node 1 defers until its own
+		// completes; node 0 serves immediately.
+		if n.replyWait && n.replyPage == page && n.ID != 0 {
+			n.deferredReq = append([]byte(nil), msg...)
+			return
+		}
+		n.servePage(e, op, page)
+	}
+	// Serve a deferred request once our own has completed.
+	if n.deferredReq != nil && !n.replyWait {
+		d := n.deferredReq
+		n.deferredReq = nil
+		n.handleMsg(e, d)
+	}
+}
+
+// servePage ships the page to the peer, downgrading or invalidating the
+// local copy.
+func (n *Node) servePage(e *hw.Exec, op byte, page uint32) {
+	n.Serves++
+	// Stop local access and capture the latest contents.
+	n.unmapPage(e, page)
+	phys := e.MPM.Machine.Phys
+	data := phys.ReadBytes(n.frames[page]<<hw.PageShift, hw.PageSize)
+	e.Charge(hw.PageSize / 4 * hw.CostMemHit)
+	if op == msgFetchWrite {
+		n.state[page] = pageInvalid
+	} else {
+		n.state[page] = pageShared
+		// Keep a read-only mapping loadable on demand (next local read
+		// faults and remaps read-only).
+	}
+	_ = n.send(e, msgReply, page, data)
+}
+
+// PageState reports the node's coherence state for page (diagnostics).
+func (n *Node) PageState(page uint32) string {
+	switch n.state[page] {
+	case pageOwned:
+		return "owned"
+	case pageShared:
+		return "shared"
+	}
+	return "invalid"
+}

@@ -1,0 +1,56 @@
+package exp
+
+import "testing"
+
+func TestTable1Geometry(t *testing.T) {
+	t1 := MeasureTable1()
+	if len(t1.Rows) != 4 {
+		t.Fatal("rows")
+	}
+	if t1.Rows[3].CacheSize != 65536 || t1.Rows[3].PaperBytes != 16 {
+		t.Fatalf("MemMapEntry row: %+v", t1.Rows[3])
+	}
+	t.Logf("\n%s", t1)
+}
+
+func TestMemBudgetArithmetic(t *testing.T) {
+	m := MeasureMemBudget()
+	if m.ObjectPct < 5 || m.ObjectPct > 15 {
+		t.Fatalf("object descriptor pct = %.1f, paper says ~10", m.ObjectPct)
+	}
+	if m.MappingPct < 40 || m.MappingPct > 60 {
+		t.Fatalf("mapping pct = %.1f, paper says ~50", m.MappingPct)
+	}
+	if m.MapOverheadPct < 0.3 || m.MapOverheadPct > 0.5 {
+		t.Fatalf("overhead = %.2f, paper says 0.4", m.MapOverheadPct)
+	}
+	t.Logf("\n%s", m)
+}
+
+func TestThrashCliffAtMappingCapacity(t *testing.T) {
+	res, err := MeasureThrash(512, []int{128, 256, 448, 640, 1024}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", res)
+	inCache := res.Points[0].CyclesPerTouch
+	over := res.Points[len(res.Points)-1].CyclesPerTouch
+	if res.Points[0].Faults != 0 {
+		t.Fatalf("faults with working set inside the cache: %d", res.Points[0].Faults)
+	}
+	if over < inCache*10 {
+		t.Fatalf("no thrash cliff: %.1f -> %.1f cycles/touch", inCache, over)
+	}
+}
+
+func TestSignalAblationShape(t *testing.T) {
+	a, err := MeasureSignalAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", a)
+	if a.TwoStageMicros <= a.RTLBMicros {
+		t.Fatalf("two-stage (%.1f) should cost more than reverse-TLB (%.1f)",
+			a.TwoStageMicros, a.RTLBMicros)
+	}
+}

@@ -1,0 +1,52 @@
+package hw
+
+import (
+	"math"
+	"testing"
+
+	"vpp/internal/pagetable"
+)
+
+// BenchmarkTLBLookup measures the 64-entry associative search.
+func BenchmarkTLBLookup(b *testing.B) {
+	tlb := NewTLB(DefaultTLBEntries)
+	for i := uint32(0); i < DefaultTLBEntries; i++ {
+		tlb.Insert(1, i, pagetable.MakePTE(i, pagetable.PTEValid))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tlb.Lookup(1, uint32(i)%DefaultTLBEntries)
+	}
+}
+
+// BenchmarkL2Access measures the direct-mapped tag check.
+func BenchmarkL2Access(b *testing.B) {
+	c := NewL2Cache(8 << 20)
+	for i := 0; i < b.N; i++ {
+		c.Access(uint32(i*64) % (16 << 20))
+	}
+}
+
+// BenchmarkSimulatedMemoryAccess measures the full simulated load path
+// (translate, cache model, physical read) per host second.
+func BenchmarkSimulatedMemoryAccess(b *testing.B) {
+	m := NewMachine(DefaultConfig())
+	mpm := m.MPMs[0]
+	tbl, _ := pagetable.New(nil)
+	for i := uint32(0); i < 256; i++ {
+		tbl.Insert(0x100_0000+i<<PageShift, pagetable.MakePTE(512+i, pagetable.PTEValid|pagetable.PTEWrite))
+	}
+	sp := &Space{Table: tbl, ASID: 1}
+	n := b.N
+	e := mpm.NewExec("bench", func(e *Exec) {
+		e.Space = sp
+		for i := 0; i < n; i++ {
+			e.Load32(0x100_0000 + uint32(i%256)<<PageShift)
+		}
+	})
+	mpm.CPUs[0].Dispatch(e)
+	b.ResetTimer()
+	if err := m.Run(math.MaxUint64); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,78 @@
+package hw
+
+// L2Cache models the MPM's software-controlled second-level cache as a
+// direct-mapped tag array over 32-byte lines. It exists for two purposes:
+// charging realistic hit/miss cycle costs on every memory reference, and
+// reporting hit/miss statistics for the locality experiments (Section
+// 5.2). Data always lives in PhysMem; the cache carries no contents.
+type L2Cache struct {
+	lineShift uint
+	lines     uint32
+	tags      []uint32 // tag+1, 0 = invalid
+	hits      uint64
+	misses    uint64
+}
+
+// L2LineSize is the cache line size in bytes (the paper's hardware).
+const L2LineSize = 32
+
+// NewL2Cache returns a cache of the given total size in bytes, which must
+// be a positive multiple of the line size.
+func NewL2Cache(size uint32) *L2Cache {
+	if size == 0 || size%L2LineSize != 0 {
+		panic("hw: bad L2 cache size")
+	}
+	lines := size / L2LineSize
+	return &L2Cache{lineShift: 5, lines: lines, tags: make([]uint32, lines)}
+}
+
+// Access simulates a reference to physical address pa and returns the
+// cycle charge (hit or miss).
+func (c *L2Cache) Access(pa uint32) uint64 {
+	line := pa >> c.lineShift
+	idx := line % c.lines
+	tag := line/c.lines + 1
+	if c.tags[idx] == tag {
+		c.hits++
+		return CostMemHit
+	}
+	c.tags[idx] = tag
+	c.misses++
+	return CostMemMiss
+}
+
+// FlushAll invalidates every line (used by the second-level cache manager
+// when reassigning page frames across kernels).
+func (c *L2Cache) FlushAll() {
+	for i := range c.tags {
+		c.tags[i] = 0
+	}
+}
+
+// FlushPage invalidates all lines of the 4 KB page containing pa.
+func (c *L2Cache) FlushPage(pa uint32) {
+	base := pa &^ (PageSize - 1)
+	for off := uint32(0); off < PageSize; off += L2LineSize {
+		line := (base + off) >> c.lineShift
+		idx := line % c.lines
+		tag := line/c.lines + 1
+		if c.tags[idx] == tag {
+			c.tags[idx] = 0
+		}
+	}
+}
+
+// Stats reports accumulated hits and misses.
+func (c *L2Cache) Stats() (hits, misses uint64) { return c.hits, c.misses }
+
+// ResetStats zeroes the counters.
+func (c *L2Cache) ResetStats() { c.hits, c.misses = 0, 0 }
+
+// HitRate reports the fraction of accesses that hit, or 0 with no accesses.
+func (c *L2Cache) HitRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}

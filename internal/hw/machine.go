@@ -1,0 +1,227 @@
+package hw
+
+import (
+	"fmt"
+
+	"vpp/internal/sim"
+)
+
+// Config describes a simulated ParaDiGM machine.
+type Config struct {
+	MPMs          int
+	CPUsPerMPM    int
+	PhysMemBytes  uint32
+	LocalRAMBytes int
+	L2Bytes       uint32
+	TLBEntries    int
+}
+
+// DefaultConfig matches the paper's prototype: MPMs of four 25 MHz CPUs,
+// 2 MB of local RAM and an 8 MB second-level cache, over 64 MB of shared
+// third-level memory.
+func DefaultConfig() Config {
+	return Config{
+		MPMs:          1,
+		CPUsPerMPM:    4,
+		PhysMemBytes:  64 << 20,
+		LocalRAMBytes: 2 << 20,
+		L2Bytes:       8 << 20,
+		TLBEntries:    DefaultTLBEntries,
+	}
+}
+
+// Machine is a simulated multiprocessor: shared physical memory plus one
+// or more MPMs, all driven by one deterministic engine.
+type Machine struct {
+	Eng  *sim.Engine
+	Phys *PhysMem
+	MPMs []*MPM
+	Cfg  Config
+}
+
+// NewMachine builds a machine from cfg.
+func NewMachine(cfg Config) *Machine {
+	if cfg.MPMs <= 0 || cfg.CPUsPerMPM <= 0 {
+		panic("hw: machine needs at least one MPM and CPU")
+	}
+	m := &Machine{
+		Eng:  sim.NewEngine(),
+		Phys: NewPhysMem(cfg.PhysMemBytes),
+		Cfg:  cfg,
+	}
+	cpuID := 0
+	for i := 0; i < cfg.MPMs; i++ {
+		mpm := &MPM{
+			ID:       i,
+			Machine:  m,
+			LocalRAM: NewRAMAllocator(fmt.Sprintf("mpm%d-lram", i), cfg.LocalRAMBytes),
+			L2:       NewL2Cache(cfg.L2Bytes),
+		}
+		for j := 0; j < cfg.CPUsPerMPM; j++ {
+			cpu := &CPU{
+				ID:    cpuID,
+				Index: j,
+				MPM:   mpm,
+				Clock: sim.NewClock(fmt.Sprintf("cpu%d.%d", i, j)),
+				TLB:   NewTLB(cfg.TLBEntries),
+			}
+			mpm.CPUs = append(mpm.CPUs, cpu)
+			cpuID++
+		}
+		m.MPMs = append(m.MPMs, mpm)
+	}
+	return m
+}
+
+// Run drives the simulation until quiescent or until the virtual cycle
+// bound is reached.
+func (m *Machine) Run(until uint64) error { return m.Eng.Run(until) }
+
+// MPM is one multiprocessor module: a small number of CPUs sharing a
+// second-level cache and local RAM, running its own Cache Kernel instance
+// (the Supervisor).
+type MPM struct {
+	ID       int
+	Machine  *Machine
+	CPUs     []*CPU
+	LocalRAM *RAMAllocator
+	L2       *L2Cache
+	Sup      Supervisor
+}
+
+// FlushTLBPage removes the (asid, vpn) translation from every CPU of the
+// MPM — the shoot-down performed when the Cache Kernel unloads a mapping.
+func (m *MPM) FlushTLBPage(asid uint16, vpn uint32) {
+	for _, c := range m.CPUs {
+		c.TLB.InvalidatePage(asid, vpn)
+	}
+}
+
+// FlushTLBSpace removes all of an address space's translations from every
+// CPU of the MPM.
+func (m *MPM) FlushTLBSpace(asid uint16) {
+	for _, c := range m.CPUs {
+		c.TLB.InvalidateSpace(asid)
+	}
+}
+
+// CPU is one simulated processor.
+type CPU struct {
+	ID    int // machine-wide
+	Index int // within the MPM
+	MPM   *MPM
+	Clock *sim.Clock
+	TLB   *TLB
+
+	// Cur is the execution context currently dispatched on the CPU,
+	// nil when idle. Maintained by the supervisor's scheduler.
+	Cur *Exec
+
+	// Pending is a bitmask of pending interrupt causes, delivered to the
+	// supervisor at the running context's next charge point. The
+	// supervisor defines the bit meanings.
+	Pending uint32
+
+	// IntrOff suppresses interrupt delivery while the supervisor runs
+	// critical sections.
+	IntrOff bool
+}
+
+// Post sets pending-interrupt bits on the CPU. Safe from engine context.
+func (c *CPU) Post(bits uint32) { c.Pending |= bits }
+
+// ArmTimerAt schedules a supervisor TimerTick for this CPU at virtual
+// time t.
+func (c *CPU) ArmTimerAt(t uint64) {
+	c.MPM.Machine.Eng.ScheduleAt(t, func() {
+		if c.MPM.Sup != nil {
+			c.MPM.Sup.TimerTick(c)
+		}
+	})
+}
+
+// Dispatch places e on the CPU and makes it runnable. The CPU must be
+// free (supervisor scheduling invariant).
+func (c *CPU) Dispatch(e *Exec) {
+	if c.Cur != nil {
+		panic(fmt.Sprintf("hw: dispatch %q onto busy cpu %d (running %q)", e.Name, c.ID, c.Cur.Name))
+	}
+	c.Cur = e
+	e.CPU = c
+	c.MPM.Machine.Eng.UnparkOn(e.coro, c.Clock)
+}
+
+// Fault identifies the cause of an access error.
+type Fault int
+
+// Access error causes forwarded to application kernels (paper §2.1).
+const (
+	FaultMapping     Fault = iota // no translation cached
+	FaultProtection               // write to read-only page
+	FaultPrivilege                // privileged operation in user mode
+	FaultConsistency              // message/consistency trap
+)
+
+func (f Fault) String() string {
+	switch f {
+	case FaultMapping:
+		return "mapping"
+	case FaultProtection:
+		return "protection"
+	case FaultPrivilege:
+		return "privilege"
+	case FaultConsistency:
+		return "consistency"
+	}
+	return "unknown"
+}
+
+// Mode is the protection level an execution context currently runs at.
+type Mode int
+
+// Protection levels: the paper's "vertical" structure.
+const (
+	ModeUser       Mode = iota // application code
+	ModeKernel                 // application kernel code
+	ModeSupervisor             // Cache Kernel code
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeUser:
+		return "user"
+	case ModeKernel:
+		return "kernel"
+	case ModeSupervisor:
+		return "supervisor"
+	}
+	return "invalid"
+}
+
+// Supervisor is the interface the Cache Kernel implements to receive
+// hardware events. All methods except TimerTick run in the context of the
+// affected execution (coroutine context); TimerTick runs in engine context
+// and must only do bookkeeping and unparking.
+type Supervisor interface {
+	// Syscall handles a trap instruction (both Cache Kernel calls and
+	// traps to be forwarded to the owning application kernel).
+	Syscall(e *Exec, no uint32, args []uint32) (uint32, uint32)
+
+	// AccessError handles a translation or protection fault at va. When
+	// it returns, the faulting access retries.
+	AccessError(e *Exec, va uint32, write bool, f Fault)
+
+	// Interrupt delivers latched pending bits to the running context.
+	Interrupt(e *Exec, pending uint32)
+
+	// MessageWrite is the signal-on-write hook: e completed a write to
+	// a message-mode page at (va, pa).
+	MessageWrite(e *Exec, va, pa uint32)
+
+	// TimerTick fires in engine context when an armed CPU timer expires.
+	TimerTick(c *CPU)
+
+	// Exited runs in coroutine context after an execution's body
+	// returns; the supervisor should schedule other work for the CPU.
+	Exited(e *Exec)
+}

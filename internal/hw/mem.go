@@ -1,0 +1,155 @@
+package hw
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Page geometry shared with the page tables.
+const (
+	PageShift = 12
+	PageSize  = 1 << PageShift
+
+	// PageGroupPages is the resource-allocation granule for physical
+	// memory: a page group is 128 contiguous, aligned 4 KB pages
+	// (512 KB), as in the paper's kernel-object memory access array.
+	PageGroupPages = 128
+	PageGroupSize  = PageGroupPages * PageSize
+)
+
+// PhysMem is the machine's physical memory: an array of lazily allocated
+// 4 KB frames addressed by a 32-bit physical address. It is shared by all
+// MPMs over the simulated VMEbus.
+type PhysMem struct {
+	frames []*[PageSize]byte
+	size   uint32
+}
+
+// NewPhysMem returns a physical memory of the given size, which must be a
+// positive multiple of the page size.
+func NewPhysMem(size uint32) *PhysMem {
+	if size == 0 || size%PageSize != 0 {
+		panic(fmt.Sprintf("hw: bad physical memory size %#x", size))
+	}
+	return &PhysMem{frames: make([]*[PageSize]byte, size/PageSize), size: size}
+}
+
+// Size reports the physical memory size in bytes.
+func (m *PhysMem) Size() uint32 { return m.size }
+
+// Frames reports the number of page frames.
+func (m *PhysMem) Frames() uint32 { return m.size / PageSize }
+
+// Page returns the frame for pfn, allocating it zeroed on first touch.
+func (m *PhysMem) Page(pfn uint32) *[PageSize]byte {
+	if pfn >= uint32(len(m.frames)) {
+		panic(fmt.Sprintf("hw: physical frame %#x out of range", pfn))
+	}
+	f := m.frames[pfn]
+	if f == nil {
+		f = new([PageSize]byte)
+		m.frames[pfn] = f
+	}
+	return f
+}
+
+// Read32 reads the 32-bit little-endian word at physical address pa,
+// which must be 4-byte aligned.
+func (m *PhysMem) Read32(pa uint32) uint32 {
+	checkAlign(pa, 4)
+	f := m.Page(pa >> PageShift)
+	off := pa & (PageSize - 1)
+	return binary.LittleEndian.Uint32(f[off : off+4])
+}
+
+// Write32 writes the 32-bit little-endian word at physical address pa.
+func (m *PhysMem) Write32(pa, v uint32) {
+	checkAlign(pa, 4)
+	f := m.Page(pa >> PageShift)
+	off := pa & (PageSize - 1)
+	binary.LittleEndian.PutUint32(f[off:off+4], v)
+}
+
+// Read8 reads the byte at pa.
+func (m *PhysMem) Read8(pa uint32) byte {
+	return m.Page(pa >> PageShift)[pa&(PageSize-1)]
+}
+
+// Write8 writes the byte at pa.
+func (m *PhysMem) Write8(pa uint32, v byte) {
+	m.Page(pa >> PageShift)[pa&(PageSize-1)] = v
+}
+
+// ReadBytes copies n bytes starting at pa into a fresh slice; the range
+// may span pages.
+func (m *PhysMem) ReadBytes(pa, n uint32) []byte {
+	out := make([]byte, n)
+	for i := uint32(0); i < n; i++ {
+		out[i] = m.Read8(pa + i)
+	}
+	return out
+}
+
+// WriteBytes copies b into physical memory starting at pa.
+func (m *PhysMem) WriteBytes(pa uint32, b []byte) {
+	for i, v := range b {
+		m.Write8(pa+uint32(i), v)
+	}
+}
+
+func checkAlign(pa, n uint32) {
+	if pa%n != 0 {
+		panic(fmt.Sprintf("hw: unaligned %d-byte access at %#x", n, pa))
+	}
+}
+
+// RAMAllocator is a byte-budget accountant for an MPM's local RAM, where
+// the Cache Kernel keeps all its descriptors and page tables. It tracks
+// usage and peak so the Section 5.2 space arithmetic can be reproduced
+// from a live system.
+type RAMAllocator struct {
+	name string
+	size int
+	used int
+	peak int
+}
+
+// NewRAMAllocator returns an allocator with the given byte budget.
+func NewRAMAllocator(name string, size int) *RAMAllocator {
+	return &RAMAllocator{name: name, size: size}
+}
+
+// Alloc reserves n bytes, reporting whether they fit.
+func (a *RAMAllocator) Alloc(n int) bool {
+	if n < 0 {
+		panic("hw: negative allocation")
+	}
+	if a.used+n > a.size {
+		return false
+	}
+	a.used += n
+	if a.used > a.peak {
+		a.peak = a.used
+	}
+	return true
+}
+
+// Free releases n bytes.
+func (a *RAMAllocator) Free(n int) {
+	if n < 0 || n > a.used {
+		panic(fmt.Sprintf("hw: bad free of %d bytes (%d used) on %s", n, a.used, a.name))
+	}
+	a.used -= n
+}
+
+// Used reports the bytes currently allocated.
+func (a *RAMAllocator) Used() int { return a.used }
+
+// Peak reports the high-water mark.
+func (a *RAMAllocator) Peak() int { return a.peak }
+
+// Size reports the total budget.
+func (a *RAMAllocator) Size() int { return a.size }
+
+// Name reports the allocator's name.
+func (a *RAMAllocator) Name() string { return a.name }

@@ -1,0 +1,92 @@
+package hw
+
+import "vpp/internal/pagetable"
+
+// TLB models a per-CPU 64-entry fully associative address translation
+// cache (the 68040 ATC), tagged by address-space identifier so a space
+// switch needs no flush. Replacement is round-robin, which the real part
+// approximated with a pseudo-random pointer.
+type TLB struct {
+	entries []tlbEntry
+	next    int
+	hits    uint64
+	misses  uint64
+}
+
+type tlbEntry struct {
+	asid  uint16
+	valid bool
+	vpn   uint32
+	pte   pagetable.PTE
+}
+
+// DefaultTLBEntries matches the 68040 ATC.
+const DefaultTLBEntries = 64
+
+// NewTLB returns a TLB with n entries.
+func NewTLB(n int) *TLB {
+	if n <= 0 {
+		panic("hw: bad TLB size")
+	}
+	return &TLB{entries: make([]tlbEntry, n)}
+}
+
+// Lookup searches for (asid, vpn); ok reports a hit.
+func (t *TLB) Lookup(asid uint16, vpn uint32) (pagetable.PTE, bool) {
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid && e.asid == asid && e.vpn == vpn {
+			t.hits++
+			return e.pte, true
+		}
+	}
+	t.misses++
+	return 0, false
+}
+
+// Insert fills an entry for (asid, vpn), evicting round-robin.
+func (t *TLB) Insert(asid uint16, vpn uint32, pte pagetable.PTE) {
+	// Overwrite an existing entry for the same page if present, so a
+	// permission upgrade takes effect immediately.
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid && e.asid == asid && e.vpn == vpn {
+			e.pte = pte
+			return
+		}
+	}
+	t.entries[t.next] = tlbEntry{asid: asid, valid: true, vpn: vpn, pte: pte}
+	t.next = (t.next + 1) % len(t.entries)
+}
+
+// InvalidatePage drops the entry for (asid, vpn) if present.
+func (t *TLB) InvalidatePage(asid uint16, vpn uint32) {
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid && e.asid == asid && e.vpn == vpn {
+			e.valid = false
+		}
+	}
+}
+
+// InvalidateSpace drops all entries of one address space.
+func (t *TLB) InvalidateSpace(asid uint16) {
+	for i := range t.entries {
+		if t.entries[i].asid == asid {
+			t.entries[i].valid = false
+		}
+	}
+}
+
+// InvalidateAll flushes the TLB.
+func (t *TLB) InvalidateAll() {
+	for i := range t.entries {
+		t.entries[i].valid = false
+	}
+}
+
+// Stats reports accumulated hits and misses.
+func (t *TLB) Stats() (hits, misses uint64) { return t.hits, t.misses }
+
+// ResetStats zeroes the counters.
+func (t *TLB) ResetStats() { t.hits, t.misses = 0, 0 }

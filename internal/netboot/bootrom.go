@@ -1,0 +1,56 @@
+package netboot
+
+import (
+	"fmt"
+
+	"vpp/internal/hw"
+	"vpp/internal/hw/dev"
+)
+
+// BootROM is the PROM monitor's network boot sequence: broadcast RARP to
+// learn this node's address, then TFTP the named image from the boot
+// server and place it in physical memory at loadPA. The Cache Kernel
+// proper is burned into PROM; what the monitor fetches over the network
+// is the initial system image (the SRM and application kernels).
+type BootROM struct {
+	Stack  *Stack
+	Image  string
+	Server IP
+	LoadPA uint32
+
+	// Booted is set after a successful fetch; ImageLen is its size.
+	Booted   bool
+	ImageLen uint32
+}
+
+// Boot runs the sequence on a device execution: RARP (with retry), then
+// TFTP fetch, then copy into physical memory.
+func (b *BootROM) Boot(e *hw.Exec) error {
+	s := b.Stack
+	// RARP for our own address.
+	req := ARPPacket{Op: RARPRequest, SenderHW: s.NIC.Addr, TargetHW: s.NIC.Addr}
+	for attempt := 0; !s.rarpGot; attempt++ {
+		if attempt >= 5 {
+			return fmt.Errorf("netboot: RARP timed out")
+		}
+		s.sendFrame(e, dev.Broadcast, EtherTypeRARP, MarshalARP(req))
+		deadline := e.Now() + hw.CyclesFromMicros(100_000)
+		for !s.rarpGot && e.Now() < deadline {
+			e.Charge(500)
+		}
+	}
+	img, err := TFTPGet(e, s, b.Server, b.Image, 2001)
+	if err != nil {
+		return err
+	}
+	// Copy the image into physical memory, as the monitor loads the
+	// system before jumping to it.
+	phys := e.MPM.Machine.Phys
+	for i, v := range img {
+		phys.Write8(b.LoadPA+uint32(i), v)
+	}
+	e.Charge(uint64(len(img)/4) * hw.CostMemHit)
+	b.Booted = true
+	b.ImageLen = uint32(len(img))
+	return nil
+}

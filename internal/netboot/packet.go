@@ -1,0 +1,201 @@
+// Package netboot implements the PROM monitor's network boot support:
+// Ethernet framing, ARP and RARP, IPv4, UDP and TFTP, plus the boot ROM
+// sequence that RARPs for an address and fetches a kernel image. In the
+// paper's accounting this support is roughly 40 percent of the Cache
+// Kernel's code (Section 5.1); reproducing it keeps the code-size
+// comparison honest.
+package netboot
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"vpp/internal/hw/dev"
+)
+
+// EtherType values used by the boot stack.
+const (
+	EtherTypeIPv4 = 0x0800
+	EtherTypeARP  = 0x0806
+	EtherTypeRARP = 0x8035
+)
+
+// IP is an IPv4 address.
+type IP [4]byte
+
+func (ip IP) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", ip[0], ip[1], ip[2], ip[3])
+}
+
+// Frame is a parsed Ethernet frame.
+type Frame struct {
+	Dst, Src  dev.MAC
+	EtherType uint16
+	Payload   []byte
+}
+
+// MarshalFrame renders an Ethernet frame.
+func MarshalFrame(f Frame) []byte {
+	out := make([]byte, 14+len(f.Payload))
+	copy(out[0:6], f.Dst[:])
+	copy(out[6:12], f.Src[:])
+	binary.BigEndian.PutUint16(out[12:14], f.EtherType)
+	copy(out[14:], f.Payload)
+	return out
+}
+
+// ParseFrame decodes an Ethernet frame.
+func ParseFrame(b []byte) (Frame, error) {
+	if len(b) < 14 {
+		return Frame{}, fmt.Errorf("netboot: short frame (%d bytes)", len(b))
+	}
+	var f Frame
+	copy(f.Dst[:], b[0:6])
+	copy(f.Src[:], b[6:12])
+	f.EtherType = binary.BigEndian.Uint16(b[12:14])
+	f.Payload = b[14:]
+	return f, nil
+}
+
+// ARP opcodes (shared by ARP and RARP).
+const (
+	ARPRequest  = 1
+	ARPReply    = 2
+	RARPRequest = 3
+	RARPReply   = 4
+)
+
+// ARPPacket is an Ethernet/IPv4 ARP or RARP packet.
+type ARPPacket struct {
+	Op                 uint16
+	SenderHW, TargetHW dev.MAC
+	SenderIP, TargetIP IP
+}
+
+// MarshalARP renders the 28-byte packet.
+func MarshalARP(p ARPPacket) []byte {
+	out := make([]byte, 28)
+	binary.BigEndian.PutUint16(out[0:2], 1)      // hardware: Ethernet
+	binary.BigEndian.PutUint16(out[2:4], 0x0800) // protocol: IPv4
+	out[4], out[5] = 6, 4
+	binary.BigEndian.PutUint16(out[6:8], p.Op)
+	copy(out[8:14], p.SenderHW[:])
+	copy(out[14:18], p.SenderIP[:])
+	copy(out[18:24], p.TargetHW[:])
+	copy(out[24:28], p.TargetIP[:])
+	return out
+}
+
+// ParseARP decodes an ARP/RARP packet.
+func ParseARP(b []byte) (ARPPacket, error) {
+	if len(b) < 28 {
+		return ARPPacket{}, fmt.Errorf("netboot: short ARP packet")
+	}
+	var p ARPPacket
+	if binary.BigEndian.Uint16(b[0:2]) != 1 || binary.BigEndian.Uint16(b[2:4]) != 0x0800 {
+		return p, fmt.Errorf("netboot: unsupported ARP hardware/protocol")
+	}
+	p.Op = binary.BigEndian.Uint16(b[6:8])
+	copy(p.SenderHW[:], b[8:14])
+	copy(p.SenderIP[:], b[14:18])
+	copy(p.TargetHW[:], b[18:24])
+	copy(p.TargetIP[:], b[24:28])
+	return p, nil
+}
+
+// IPv4Header is the subset of IPv4 the boot stack uses (no options, no
+// fragmentation).
+type IPv4Header struct {
+	Protocol uint8
+	Src, Dst IP
+	Payload  []byte
+}
+
+// IPProtoUDP is the UDP protocol number.
+const IPProtoUDP = 17
+
+// checksum16 computes the Internet checksum.
+func checksum16(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i : i+2]))
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// MarshalIPv4 renders a 20-byte header plus payload.
+func MarshalIPv4(h IPv4Header) []byte {
+	out := make([]byte, 20+len(h.Payload))
+	out[0] = 0x45 // v4, 5 words
+	binary.BigEndian.PutUint16(out[2:4], uint16(20+len(h.Payload)))
+	out[8] = 32 // TTL
+	out[9] = h.Protocol
+	copy(out[12:16], h.Src[:])
+	copy(out[16:20], h.Dst[:])
+	binary.BigEndian.PutUint16(out[10:12], checksum16(out[:20]))
+	copy(out[20:], h.Payload)
+	return out
+}
+
+// ParseIPv4 decodes and validates a header.
+func ParseIPv4(b []byte) (IPv4Header, error) {
+	if len(b) < 20 || b[0]>>4 != 4 {
+		return IPv4Header{}, fmt.Errorf("netboot: bad IPv4 header")
+	}
+	ihl := int(b[0]&0xf) * 4
+	if ihl < 20 || len(b) < ihl {
+		return IPv4Header{}, fmt.Errorf("netboot: bad IHL")
+	}
+	if checksum16(b[:ihl]) != 0 {
+		return IPv4Header{}, fmt.Errorf("netboot: IPv4 checksum mismatch")
+	}
+	total := int(binary.BigEndian.Uint16(b[2:4]))
+	if total < ihl || total > len(b) {
+		return IPv4Header{}, fmt.Errorf("netboot: bad total length")
+	}
+	var h IPv4Header
+	h.Protocol = b[9]
+	copy(h.Src[:], b[12:16])
+	copy(h.Dst[:], b[16:20])
+	h.Payload = b[ihl:total]
+	return h, nil
+}
+
+// UDPHeader is a UDP datagram.
+type UDPHeader struct {
+	SrcPort, DstPort uint16
+	Payload          []byte
+}
+
+// MarshalUDP renders a datagram (checksum omitted: legal in IPv4, and
+// the PROM monitor did the same).
+func MarshalUDP(u UDPHeader) []byte {
+	out := make([]byte, 8+len(u.Payload))
+	binary.BigEndian.PutUint16(out[0:2], u.SrcPort)
+	binary.BigEndian.PutUint16(out[2:4], u.DstPort)
+	binary.BigEndian.PutUint16(out[4:6], uint16(8+len(u.Payload)))
+	copy(out[8:], u.Payload)
+	return out
+}
+
+// ParseUDP decodes a datagram.
+func ParseUDP(b []byte) (UDPHeader, error) {
+	if len(b) < 8 {
+		return UDPHeader{}, fmt.Errorf("netboot: short UDP datagram")
+	}
+	var u UDPHeader
+	u.SrcPort = binary.BigEndian.Uint16(b[0:2])
+	u.DstPort = binary.BigEndian.Uint16(b[2:4])
+	n := int(binary.BigEndian.Uint16(b[4:6]))
+	if n < 8 || n > len(b) {
+		return UDPHeader{}, fmt.Errorf("netboot: bad UDP length")
+	}
+	u.Payload = b[8:n]
+	return u, nil
+}

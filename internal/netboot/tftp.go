@@ -1,0 +1,195 @@
+package netboot
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"vpp/internal/hw"
+)
+
+// TFTP (RFC 1350) over the boot stack: the PROM monitor fetches kernel
+// images with it, and the boot server serves them.
+
+// TFTP opcodes.
+const (
+	tftpRRQ   = 1
+	tftpWRQ   = 2
+	tftpDATA  = 3
+	tftpACK   = 4
+	tftpERROR = 5
+
+	tftpPort      = 69
+	tftpBlockSize = 512
+)
+
+// marshalRRQ builds a read request.
+func marshalRRQ(file string) []byte {
+	out := make([]byte, 0, 2+len(file)+1+6)
+	out = binary.BigEndian.AppendUint16(out, tftpRRQ)
+	out = append(out, file...)
+	out = append(out, 0)
+	out = append(out, "octet"...)
+	out = append(out, 0)
+	return out
+}
+
+// marshalDATA builds a data block.
+func marshalDATA(block uint16, data []byte) []byte {
+	out := make([]byte, 0, 4+len(data))
+	out = binary.BigEndian.AppendUint16(out, tftpDATA)
+	out = binary.BigEndian.AppendUint16(out, block)
+	return append(out, data...)
+}
+
+// marshalACK builds an acknowledgment.
+func marshalACK(block uint16) []byte {
+	out := make([]byte, 0, 4)
+	out = binary.BigEndian.AppendUint16(out, tftpACK)
+	return binary.BigEndian.AppendUint16(out, block)
+}
+
+// marshalERROR builds an error packet.
+func marshalERROR(code uint16, msg string) []byte {
+	out := make([]byte, 0, 4+len(msg)+1)
+	out = binary.BigEndian.AppendUint16(out, tftpERROR)
+	out = binary.BigEndian.AppendUint16(out, code)
+	out = append(out, msg...)
+	return append(out, 0)
+}
+
+// TFTPServer serves files from a name->bytes map on port 69.
+type TFTPServer struct {
+	Stack *Stack
+	Files map[string][]byte
+	// Served counts completed transfers.
+	Served uint64
+	stop   bool
+}
+
+// NewTFTPServer creates a server on the stack.
+func NewTFTPServer(s *Stack, files map[string][]byte) *TFTPServer {
+	return &TFTPServer{Stack: s, Files: files}
+}
+
+// Serve runs the server loop (call on a device execution). It handles
+// one transfer at a time, which is all a boot server needs.
+func (srv *TFTPServer) Serve(e *hw.Exec) error {
+	conn, err := srv.Stack.Bind(tftpPort)
+	if err != nil {
+		return err
+	}
+	for !srv.stop {
+		req, ok := conn.Recv(e, hw.CyclesFromMicros(100_000))
+		if !ok {
+			continue
+		}
+		if len(req.Payload) < 2 || binary.BigEndian.Uint16(req.Payload) != tftpRRQ {
+			continue
+		}
+		name, ok := cstring(req.Payload[2:])
+		if !ok {
+			continue
+		}
+		data, exists := srv.Files[name]
+		if !exists {
+			_ = conn.SendTo(e, req.Src, req.SrcPort, marshalERROR(1, "file not found"))
+			continue
+		}
+		if err := srv.transfer(e, conn, req.Src, req.SrcPort, data); err == nil {
+			srv.Served++
+		}
+	}
+	return nil
+}
+
+// Stop halts the serve loop after the current exchange.
+func (srv *TFTPServer) Stop() { srv.stop = true }
+
+func (srv *TFTPServer) transfer(e *hw.Exec, conn *UDPConn, dst IP, dstPort uint16, data []byte) error {
+	block := uint16(1)
+	off := 0
+	for {
+		end := off + tftpBlockSize
+		if end > len(data) {
+			end = len(data)
+		}
+		chunk := data[off:end]
+		for retry := 0; ; retry++ {
+			if err := conn.SendTo(e, dst, dstPort, marshalDATA(block, chunk)); err != nil {
+				return err
+			}
+			ack, ok := conn.Recv(e, hw.CyclesFromMicros(200_000))
+			if ok && len(ack.Payload) >= 4 &&
+				binary.BigEndian.Uint16(ack.Payload) == tftpACK &&
+				binary.BigEndian.Uint16(ack.Payload[2:]) == block {
+				break
+			}
+			if retry >= 4 {
+				return fmt.Errorf("netboot: transfer stalled at block %d", block)
+			}
+		}
+		off = end
+		block++
+		if len(chunk) < tftpBlockSize {
+			return nil
+		}
+	}
+}
+
+// TFTPGet fetches a file from a server (the client side of the PROM
+// monitor's boot fetch).
+func TFTPGet(e *hw.Exec, s *Stack, server IP, name string, clientPort uint16) ([]byte, error) {
+	conn, err := s.Bind(clientPort)
+	if err != nil {
+		return nil, err
+	}
+	var out []byte
+	expect := uint16(1)
+	for retry := 0; ; {
+		if expect == 1 {
+			if err := conn.SendTo(e, server, tftpPort, marshalRRQ(name)); err != nil {
+				return nil, err
+			}
+		}
+		d, ok := conn.Recv(e, hw.CyclesFromMicros(200_000))
+		if !ok {
+			retry++
+			if retry > 4 {
+				return nil, fmt.Errorf("netboot: RRQ timed out")
+			}
+			continue
+		}
+		if len(d.Payload) < 4 {
+			continue
+		}
+		switch binary.BigEndian.Uint16(d.Payload) {
+		case tftpERROR:
+			msg, _ := cstring(d.Payload[4:])
+			return nil, fmt.Errorf("netboot: server error: %s", msg)
+		case tftpDATA:
+			block := binary.BigEndian.Uint16(d.Payload[2:])
+			if block != expect {
+				// Duplicate: re-ACK.
+				_ = conn.SendTo(e, d.Src, d.SrcPort, marshalACK(block))
+				continue
+			}
+			chunk := d.Payload[4:]
+			out = append(out, chunk...)
+			_ = conn.SendTo(e, d.Src, d.SrcPort, marshalACK(block))
+			if len(chunk) < tftpBlockSize {
+				return out, nil
+			}
+			expect++
+		}
+	}
+}
+
+// cstring extracts a NUL-terminated string.
+func cstring(b []byte) (string, bool) {
+	for i, c := range b {
+		if c == 0 {
+			return string(b[:i]), true
+		}
+	}
+	return "", false
+}

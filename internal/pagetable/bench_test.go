@@ -1,0 +1,35 @@
+package pagetable
+
+import "testing"
+
+// BenchmarkInsertLookupRemove measures the three-level table's hot path.
+func BenchmarkInsertLookupRemove(b *testing.B) {
+	tbl, err := New(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		va := uint32(i%4096) << PageShift
+		_ = tbl.Insert(va, MakePTE(uint32(i), PTEValid|PTEWrite))
+		if _, ok := tbl.Lookup(va); !ok {
+			b.Fatal("lookup miss")
+		}
+		tbl.Remove(va)
+	}
+}
+
+// BenchmarkWalkDense measures full-tree iteration over a dense region.
+func BenchmarkWalkDense(b *testing.B) {
+	tbl, _ := New(nil)
+	for i := uint32(0); i < 4096; i++ {
+		tbl.Insert(i<<PageShift, MakePTE(i, PTEValid))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		tbl.Walk(func(uint32, PTE) bool { n++; return true })
+		if n != 4096 {
+			b.Fatal(n)
+		}
+	}
+}

@@ -1,0 +1,282 @@
+// Package pagetable implements Motorola 68040-style three-level page
+// tables as used by the Cache Kernel's address-space objects.
+//
+// A 32-bit virtual address splits 7/7/6/12: a 128-entry root table
+// (512 bytes), 128-entry pointer tables (512 bytes) and 64-entry page
+// tables (256 bytes) mapping 4 KB pages. These sizes matter: the paper's
+// Section 5.2 space-overhead arithmetic (about 5 KB of tables per address
+// space, mapping descriptors at twice the third-level table space) depends
+// on them, so the reproduction keeps the exact geometry and accounts every
+// table against the MPM's local RAM.
+package pagetable
+
+import "fmt"
+
+// Geometry constants for the 68040 translation tree.
+const (
+	PageShift = 12
+	PageSize  = 1 << PageShift // 4 KB
+
+	RootEntries = 128 // bits 31..25
+	MidEntries  = 128 // bits 24..18
+	LeafEntries = 64  // bits 17..12
+
+	// Byte sizes of each table level, as burned into the paper's
+	// space-overhead arithmetic.
+	RootBytes = RootEntries * 4
+	MidBytes  = MidEntries * 4
+	LeafBytes = LeafEntries * 4
+)
+
+// PTE is a page table entry: a physical frame number plus flag bits.
+type PTE uint32
+
+// PTE flag bits. The frame number occupies the top 20 bits (pfn << 12).
+const (
+	PTEValid PTE = 1 << iota
+	PTEWrite
+	PTECachable
+	PTEMessage // page is in message mode (memory-based messaging)
+	PTECopyOnWrite
+	PTEReferenced // set by hardware on access
+	PTEModified   // set by hardware on write
+
+	pteFlagMask PTE = 1<<PageShift - 1
+)
+
+// MakePTE builds an entry mapping the given physical frame with flags.
+func MakePTE(pfn uint32, flags PTE) PTE {
+	return PTE(pfn<<PageShift) | (flags & pteFlagMask)
+}
+
+// PFN extracts the physical frame number.
+func (p PTE) PFN() uint32 { return uint32(p) >> PageShift }
+
+// Valid reports whether the entry maps a page.
+func (p PTE) Valid() bool { return p&PTEValid != 0 }
+
+// Writable reports whether writes are permitted.
+func (p PTE) Writable() bool { return p&PTEWrite != 0 }
+
+// Message reports whether the page is in message mode.
+func (p PTE) Message() bool { return p&PTEMessage != 0 }
+
+// Allocator accounts table memory against a backing store (the MPM's
+// local RAM in this system). Alloc reports whether the allocation fits.
+type Allocator interface {
+	Alloc(bytes int) bool
+	Free(bytes int)
+}
+
+// nopAllocator accepts everything; used when no accounting is wanted.
+type nopAllocator struct{}
+
+func (nopAllocator) Alloc(int) bool { return true }
+func (nopAllocator) Free(int)       {}
+
+type leaf struct {
+	pte  [LeafEntries]PTE
+	live int
+}
+
+type mid struct {
+	tables [MidEntries]*leaf
+	live   int
+}
+
+// Table is one address space's translation tree.
+type Table struct {
+	root  [RootEntries]*mid
+	alloc Allocator
+	bytes int // accounted table bytes, including the root
+	pages int // live mappings
+}
+
+// ErrNoMem reports that the allocator refused table memory.
+var ErrNoMem = fmt.Errorf("pagetable: out of table memory")
+
+// New returns an empty table accounted against alloc (nil for none).
+// The root table itself is accounted immediately.
+func New(alloc Allocator) (*Table, error) {
+	if alloc == nil {
+		alloc = nopAllocator{}
+	}
+	if !alloc.Alloc(RootBytes) {
+		return nil, ErrNoMem
+	}
+	return &Table{alloc: alloc, bytes: RootBytes}, nil
+}
+
+func split(va uint32) (ri, mi, li uint32) {
+	return va >> 25, (va >> 18) & (MidEntries - 1), (va >> PageShift) & (LeafEntries - 1)
+}
+
+// Lookup translates va without modifying the tree.
+func (t *Table) Lookup(va uint32) (PTE, bool) {
+	ri, mi, li := split(va)
+	m := t.root[ri]
+	if m == nil {
+		return 0, false
+	}
+	l := m.tables[mi]
+	if l == nil {
+		return 0, false
+	}
+	p := l.pte[li]
+	if !p.Valid() {
+		return 0, false
+	}
+	return p, true
+}
+
+// WalkDepth reports how many table levels a hardware walk of va touches
+// (1 root + 1 mid + 1 leaf when present); used for cycle charging.
+func (t *Table) WalkDepth(va uint32) int {
+	ri, mi, _ := split(va)
+	m := t.root[ri]
+	if m == nil {
+		return 1
+	}
+	if m.tables[mi] == nil {
+		return 2
+	}
+	return 3
+}
+
+// Insert maps va with the given entry, allocating intermediate tables.
+// Inserting over an existing valid entry replaces it.
+func (t *Table) Insert(va uint32, pte PTE) error {
+	if !pte.Valid() {
+		return fmt.Errorf("pagetable: inserting invalid PTE for va %#x", va)
+	}
+	ri, mi, li := split(va)
+	m := t.root[ri]
+	if m == nil {
+		if !t.alloc.Alloc(MidBytes) {
+			return ErrNoMem
+		}
+		m = &mid{}
+		t.root[ri] = m
+		t.bytes += MidBytes
+	}
+	l := m.tables[mi]
+	if l == nil {
+		if !t.alloc.Alloc(LeafBytes) {
+			return ErrNoMem
+		}
+		l = &leaf{}
+		m.tables[mi] = l
+		m.live++
+		t.bytes += LeafBytes
+	}
+	if !l.pte[li].Valid() {
+		l.live++
+		t.pages++
+	}
+	l.pte[li] = pte
+	return nil
+}
+
+// Remove unmaps va, returning the entry that was present (with its
+// hardware-maintained referenced/modified bits) and freeing empty tables.
+func (t *Table) Remove(va uint32) (PTE, bool) {
+	ri, mi, li := split(va)
+	m := t.root[ri]
+	if m == nil {
+		return 0, false
+	}
+	l := m.tables[mi]
+	if l == nil || !l.pte[li].Valid() {
+		return 0, false
+	}
+	old := l.pte[li]
+	l.pte[li] = 0
+	l.live--
+	t.pages--
+	if l.live == 0 {
+		m.tables[mi] = nil
+		m.live--
+		t.alloc.Free(LeafBytes)
+		t.bytes -= LeafBytes
+		if m.live == 0 {
+			t.root[ri] = nil
+			t.alloc.Free(MidBytes)
+			t.bytes -= MidBytes
+		}
+	}
+	return old, true
+}
+
+// SetRM ORs the referenced (and optionally modified) bits into va's entry,
+// as the 68040 hardware walker does on access.
+func (t *Table) SetRM(va uint32, modified bool) {
+	ri, mi, li := split(va)
+	m := t.root[ri]
+	if m == nil {
+		return
+	}
+	l := m.tables[mi]
+	if l == nil || !l.pte[li].Valid() {
+		return
+	}
+	l.pte[li] |= PTEReferenced
+	if modified {
+		l.pte[li] |= PTEModified
+	}
+}
+
+// Walk calls fn for every valid mapping in ascending virtual order.
+// fn returning false stops the walk.
+func (t *Table) Walk(fn func(va uint32, pte PTE) bool) {
+	for ri := uint32(0); ri < RootEntries; ri++ {
+		m := t.root[ri]
+		if m == nil {
+			continue
+		}
+		for mi := uint32(0); mi < MidEntries; mi++ {
+			l := m.tables[mi]
+			if l == nil {
+				continue
+			}
+			for li := uint32(0); li < LeafEntries; li++ {
+				p := l.pte[li]
+				if !p.Valid() {
+					continue
+				}
+				va := ri<<25 | mi<<18 | li<<PageShift
+				if !fn(va, p) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// Pages reports the number of live mappings.
+func (t *Table) Pages() int { return t.pages }
+
+// Bytes reports the accounted table memory, including the root table.
+func (t *Table) Bytes() int { return t.bytes }
+
+// Release frees all table memory back to the allocator. The table must
+// not be used afterwards.
+func (t *Table) Release() {
+	for ri := range t.root {
+		m := t.root[ri]
+		if m == nil {
+			continue
+		}
+		for mi := range m.tables {
+			if m.tables[mi] != nil {
+				t.alloc.Free(LeafBytes)
+				t.bytes -= LeafBytes
+			}
+		}
+		t.alloc.Free(MidBytes)
+		t.bytes -= MidBytes
+		t.root[ri] = nil
+	}
+	t.alloc.Free(RootBytes)
+	t.bytes -= RootBytes
+	t.pages = 0
+}

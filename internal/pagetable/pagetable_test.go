@@ -1,0 +1,238 @@
+package pagetable
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vpp/internal/sim"
+)
+
+// countingAlloc tracks outstanding bytes and can impose a budget.
+type countingAlloc struct {
+	used, limit int
+}
+
+func (a *countingAlloc) Alloc(n int) bool {
+	if a.limit > 0 && a.used+n > a.limit {
+		return false
+	}
+	a.used += n
+	return true
+}
+func (a *countingAlloc) Free(n int) { a.used -= n }
+
+func mustNew(t *testing.T, a Allocator) *Table {
+	t.Helper()
+	tbl, err := New(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestInsertLookupRemove(t *testing.T) {
+	tbl := mustNew(t, nil)
+	va := uint32(0x1234_5000)
+	if err := tbl.Insert(va, MakePTE(42, PTEValid|PTEWrite)); err != nil {
+		t.Fatal(err)
+	}
+	p, ok := tbl.Lookup(va)
+	if !ok || p.PFN() != 42 || !p.Writable() {
+		t.Fatalf("lookup = %#x, %v", p, ok)
+	}
+	if _, ok := tbl.Lookup(va + PageSize); ok {
+		t.Fatal("adjacent page should be unmapped")
+	}
+	old, ok := tbl.Remove(va)
+	if !ok || old.PFN() != 42 {
+		t.Fatalf("remove = %#x, %v", old, ok)
+	}
+	if _, ok := tbl.Lookup(va); ok {
+		t.Fatal("lookup after remove succeeded")
+	}
+}
+
+func TestTableSizesMatchPaper(t *testing.T) {
+	// Paper §5.2: 512-byte top-level, 512-byte second-level, 256-byte
+	// third-level tables mapping 64 pages each.
+	if RootBytes != 512 || MidBytes != 512 || LeafBytes != 256 {
+		t.Fatalf("table sizes = %d/%d/%d, want 512/512/256",
+			RootBytes, MidBytes, LeafBytes)
+	}
+	if LeafEntries != 64 {
+		t.Fatalf("leaf entries = %d, want 64", LeafEntries)
+	}
+}
+
+func TestSpaceAccounting(t *testing.T) {
+	a := &countingAlloc{}
+	tbl := mustNew(t, a)
+	if a.used != RootBytes {
+		t.Fatalf("after New used = %d, want %d", a.used, RootBytes)
+	}
+	// First mapping allocates one mid and one leaf.
+	if err := tbl.Insert(0, MakePTE(1, PTEValid)); err != nil {
+		t.Fatal(err)
+	}
+	want := RootBytes + MidBytes + LeafBytes
+	if a.used != want || tbl.Bytes() != want {
+		t.Fatalf("used = %d, Bytes = %d, want %d", a.used, tbl.Bytes(), want)
+	}
+	// A second mapping in the same 256 KB region allocates nothing.
+	if err := tbl.Insert(PageSize, MakePTE(2, PTEValid)); err != nil {
+		t.Fatal(err)
+	}
+	if a.used != want {
+		t.Fatalf("same-leaf insert allocated: used = %d", a.used)
+	}
+	// Removing both frees the leaf and mid.
+	tbl.Remove(0)
+	tbl.Remove(PageSize)
+	if a.used != RootBytes {
+		t.Fatalf("after removes used = %d, want %d", a.used, RootBytes)
+	}
+	tbl.Release()
+	if a.used != 0 {
+		t.Fatalf("after Release used = %d, want 0", a.used)
+	}
+}
+
+func TestInsertFailsWhenAllocatorRefuses(t *testing.T) {
+	a := &countingAlloc{limit: RootBytes + MidBytes} // no room for a leaf
+	tbl := mustNew(t, a)
+	if err := tbl.Insert(0, MakePTE(1, PTEValid)); err != ErrNoMem {
+		t.Fatalf("err = %v, want ErrNoMem", err)
+	}
+	// A failed insert must not leak a mid table permanently unusable:
+	// a later insert within budget still works after raising the limit.
+	a.limit = RootBytes + MidBytes + LeafBytes
+	if err := tbl.Insert(0, MakePTE(1, PTEValid)); err != nil {
+		t.Fatalf("retry failed: %v", err)
+	}
+}
+
+func TestSetRM(t *testing.T) {
+	tbl := mustNew(t, nil)
+	va := uint32(0x8000_0000)
+	tbl.Insert(va, MakePTE(7, PTEValid|PTEWrite))
+	tbl.SetRM(va, false)
+	p, _ := tbl.Lookup(va)
+	if p&PTEReferenced == 0 || p&PTEModified != 0 {
+		t.Fatalf("after read SetRM: %#x", p)
+	}
+	tbl.SetRM(va, true)
+	p, _ = tbl.Lookup(va)
+	if p&PTEModified == 0 {
+		t.Fatalf("after write SetRM: %#x", p)
+	}
+	old, _ := tbl.Remove(va)
+	if old&PTEModified == 0 {
+		t.Fatal("Remove lost the modified bit")
+	}
+}
+
+func TestWalkDepth(t *testing.T) {
+	tbl := mustNew(t, nil)
+	va := uint32(0x4000_0000)
+	if d := tbl.WalkDepth(va); d != 1 {
+		t.Fatalf("empty depth = %d, want 1", d)
+	}
+	tbl.Insert(va, MakePTE(1, PTEValid))
+	if d := tbl.WalkDepth(va); d != 3 {
+		t.Fatalf("mapped depth = %d, want 3", d)
+	}
+	// Same mid, different leaf region.
+	if d := tbl.WalkDepth(va + LeafEntries*PageSize); d != 2 {
+		t.Fatalf("sibling depth = %d, want 2", d)
+	}
+}
+
+func TestWalkOrderAndCount(t *testing.T) {
+	tbl := mustNew(t, nil)
+	vas := []uint32{0xF000_0000, 0x0000_1000, 0x7654_3000, 0x0000_2000}
+	for i, va := range vas {
+		tbl.Insert(va, MakePTE(uint32(i+1), PTEValid))
+	}
+	var got []uint32
+	tbl.Walk(func(va uint32, _ PTE) bool {
+		got = append(got, va)
+		return true
+	})
+	want := []uint32{0x0000_1000, 0x0000_2000, 0x7654_3000, 0xF000_0000}
+	if len(got) != len(want) {
+		t.Fatalf("walked %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("walk order %v, want %v", got, want)
+		}
+	}
+	if tbl.Pages() != 4 {
+		t.Fatalf("Pages = %d, want 4", tbl.Pages())
+	}
+}
+
+func TestWalkEarlyStop(t *testing.T) {
+	tbl := mustNew(t, nil)
+	for i := uint32(0); i < 10; i++ {
+		tbl.Insert(i*PageSize, MakePTE(i+1, PTEValid))
+	}
+	n := 0
+	tbl.Walk(func(uint32, PTE) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("walked %d entries, want 3", n)
+	}
+}
+
+func TestInsertInvalidPTERejected(t *testing.T) {
+	tbl := mustNew(t, nil)
+	if err := tbl.Insert(0, MakePTE(1, 0)); err == nil {
+		t.Fatal("inserting invalid PTE succeeded")
+	}
+}
+
+// TestPropertyInsertRemoveBalance checks, for random mapping sets, that
+// inserting then removing everything returns accounting to the baseline
+// and that Lookup agrees with a reference map throughout.
+func TestPropertyInsertRemoveBalance(t *testing.T) {
+	f := func(seed uint64, nOps uint8) bool {
+		r := sim.NewRand(seed)
+		a := &countingAlloc{}
+		tbl, err := New(a)
+		if err != nil {
+			return false
+		}
+		ref := map[uint32]PTE{}
+		for i := 0; i < int(nOps); i++ {
+			va := uint32(r.Intn(1<<20)) << PageShift // 1M page universe
+			if r.Intn(2) == 0 {
+				pte := MakePTE(uint32(r.Intn(1<<16)), PTEValid|PTEWrite)
+				if tbl.Insert(va, pte) != nil {
+					return false
+				}
+				ref[va] = pte
+			} else {
+				_, okT := tbl.Remove(va)
+				_, okR := ref[va]
+				if okT != okR {
+					return false
+				}
+				delete(ref, va)
+			}
+		}
+		if tbl.Pages() != len(ref) {
+			return false
+		}
+		for va, pte := range ref {
+			got, ok := tbl.Lookup(va)
+			if !ok || got != pte {
+				return false
+			}
+			tbl.Remove(va)
+		}
+		return a.used == RootBytes && tbl.Pages() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,47 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+// BenchmarkEngineSchedulingDecision measures raw engine throughput: how
+// many coroutine scheduling decisions the host executes per second.
+func BenchmarkEngineSchedulingDecision(b *testing.B) {
+	e := NewEngine()
+	clks := [4]*Clock{}
+	for i := range clks {
+		clks[i] = NewClock("c")
+		co := e.NewCoro("w", func(ctx *Ctx) {
+			for {
+				ctx.Advance(10)
+				ctx.Reschedule()
+			}
+		})
+		e.UnparkOn(co, clks[i])
+	}
+	e.MaxSteps = uint64(b.N) + 16
+	b.ResetTimer()
+	_ = e.Run(math.MaxUint64)
+}
+
+// BenchmarkEventHeap measures timer scheduling throughput.
+func BenchmarkEventHeap(b *testing.B) {
+	e := NewEngine()
+	for i := 0; i < b.N; i++ {
+		e.ScheduleAt(uint64(i%1024), func() {})
+		if i%1024 == 1023 {
+			_ = e.Run(uint64(i))
+		}
+	}
+}
+
+// BenchmarkRand measures the workload PRNG.
+func BenchmarkRand(b *testing.B) {
+	r := NewRand(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= r.Uint64()
+	}
+	_ = sink
+}

@@ -1,0 +1,393 @@
+// Package sim provides a deterministic discrete-virtual-time execution
+// engine for the V++ Cache Kernel reproduction.
+//
+// The engine multiplexes many simulated execution contexts (Coros) over a
+// single OS thread of control: exactly one coroutine runs at any instant,
+// and the engine always resumes the runnable coroutine whose processor
+// clock is furthest behind. This yields a deterministic, serializable
+// interleaving of the simulated multiprocessor without any locking in the
+// simulated kernel code, mirroring how the real Cache Kernel limited
+// parallelism to one MPM.
+//
+// Time is measured in processor cycles. Clocks belong to simulated CPUs;
+// a coroutine advances whichever clock it is currently dispatched on, so a
+// thread migrating between CPUs naturally accumulates time on each.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Clock is a processor-local virtual clock measured in cycles.
+// The hardware layer creates one Clock per simulated CPU.
+type Clock struct {
+	name string
+	now  uint64
+}
+
+// NewClock returns a clock starting at cycle 0.
+func NewClock(name string) *Clock { return &Clock{name: name} }
+
+// Now reports the clock's current cycle count.
+func (c *Clock) Now() uint64 { return c.now }
+
+// AdvanceTo moves the clock forward to cycle t; it never moves backward.
+func (c *Clock) AdvanceTo(t uint64) {
+	if t > c.now {
+		c.now = t
+	}
+}
+
+// Name reports the clock's name (its CPU's name, conventionally).
+func (c *Clock) Name() string { return c.name }
+
+// Coro is a simulated execution context: a thread of control that runs on
+// whichever Clock it is dispatched to. Coros are created parked; the kernel
+// layer unparks a coro on a CPU clock to "dispatch" it.
+type Coro struct {
+	name     string
+	id       uint64
+	eng      *Engine
+	fn       func(*Ctx)
+	ctx      *Ctx
+	resume   chan uint64 // horizon values; closed never
+	clock    *Clock
+	runnable bool
+	started  bool
+	done     bool
+}
+
+// Name reports the coro's name.
+func (co *Coro) Name() string { return co.name }
+
+// Done reports whether the coro's body has returned.
+func (co *Coro) Done() bool { return co.done }
+
+// Runnable reports whether the coro is currently eligible to run.
+func (co *Coro) Runnable() bool { return co.runnable && !co.done }
+
+// Clock returns the clock the coro is (or was last) dispatched on.
+func (co *Coro) Clock() *Clock { return co.clock }
+
+// Ctx is the handle a running coroutine uses to interact with the engine.
+// A Ctx is only valid inside its own coroutine.
+type Ctx struct {
+	co      *Coro
+	horizon uint64
+}
+
+// event is a scheduled callback. Events run in the engine's own context
+// (never inside a coroutine); they typically raise interrupts or unpark
+// coros.
+type event struct {
+	at  uint64
+	seq uint64
+	fn  func()
+}
+
+// Engine owns all coroutines, clocks and pending events of one simulation.
+type Engine struct {
+	coros   []*Coro
+	events  eventHeap
+	seq     uint64
+	yieldCh chan *Coro
+	current *Coro
+	now     uint64 // time of the most recently scheduled entity
+	steps   uint64
+	// MaxSteps bounds engine scheduling decisions as a runaway guard.
+	// Zero means no limit.
+	MaxSteps uint64
+}
+
+// NewEngine returns an empty engine.
+func NewEngine() *Engine {
+	return &Engine{yieldCh: make(chan *Coro)}
+}
+
+// Now reports the virtual time of the most recently scheduled entity.
+// It is a global lower bound: no future activity occurs before it.
+func (e *Engine) Now() uint64 { return e.now }
+
+// NewCoro creates a parked coroutine that will execute fn when first
+// dispatched. The body must only interact with the engine through ctx.
+func (e *Engine) NewCoro(name string, fn func(*Ctx)) *Coro {
+	e.seq++
+	co := &Coro{
+		name:   name,
+		id:     e.seq,
+		eng:    e,
+		fn:     fn,
+		resume: make(chan uint64),
+	}
+	co.ctx = &Ctx{co: co}
+	e.coros = append(e.coros, co)
+	return co
+}
+
+// UnparkOn makes co runnable on the given clock. It is the dispatch
+// primitive: the kernel layer calls it when placing a thread on a CPU.
+// Calling it for an already-runnable or finished coro panics, as that
+// indicates a kernel scheduling bug.
+func (e *Engine) UnparkOn(co *Coro, clock *Clock) {
+	if co.done {
+		panic(fmt.Sprintf("sim: unpark of finished coro %q", co.name))
+	}
+	if co.runnable {
+		panic(fmt.Sprintf("sim: unpark of runnable coro %q", co.name))
+	}
+	if clock == nil {
+		panic("sim: unpark with nil clock")
+	}
+	co.clock = clock
+	co.runnable = true
+	// A newly runnable coroutine may be more urgent than the currently
+	// executing one: shrink the current horizon so it yields at its next
+	// charge point.
+	if cur := e.current; cur != nil && cur != co && clock.now < cur.ctx.horizon {
+		cur.ctx.horizon = clock.now
+	}
+}
+
+// ScheduleAt registers fn to run at virtual time t in engine context.
+// Events at equal times run in registration order.
+func (e *Engine) ScheduleAt(t uint64, fn func()) {
+	e.seq++
+	e.events.push(&event{at: t, seq: e.seq, fn: fn})
+	// The new event may precede the running coroutine's current horizon.
+	if cur := e.current; cur != nil && t < cur.ctx.horizon {
+		cur.ctx.horizon = t
+	}
+}
+
+// ScheduleAfter registers fn to run d cycles after the engine's current
+// global time.
+func (e *Engine) ScheduleAfter(d uint64, fn func()) {
+	e.ScheduleAt(e.now+d, fn)
+}
+
+// ErrMaxSteps reports that Run stopped because the step guard tripped.
+var ErrMaxSteps = errors.New("sim: exceeded MaxSteps scheduling decisions")
+
+// maxQuantum bounds how far a coroutine may run past its scheduling
+// point before yielding, keeping the engine responsive to MaxSteps.
+const maxQuantum = 1 << 22
+
+// Run executes the simulation until no coroutine is runnable and no event
+// is pending, or until the next entity's time exceeds until (pass
+// math.MaxUint64 for no bound). It returns ErrMaxSteps if the step guard
+// trips.
+func (e *Engine) Run(until uint64) error {
+	for {
+		if e.MaxSteps != 0 && e.steps >= e.MaxSteps {
+			return ErrMaxSteps
+		}
+		e.steps++
+
+		co, coTime := e.pickCoro(nil)
+		evTime := uint64(math.MaxUint64)
+		if len(e.events) > 0 {
+			evTime = e.events[0].at
+		}
+
+		switch {
+		case co == nil && evTime == math.MaxUint64:
+			return nil
+		case evTime <= coTime:
+			if evTime > until {
+				return nil
+			}
+			ev := e.events.pop()
+			e.now = ev.at
+			ev.fn()
+		default:
+			if coTime > until {
+				return nil
+			}
+			e.now = coTime
+			// The horizon is the time of the next-most-urgent
+			// entity; the coro may run without yielding until its
+			// clock passes it. It is also capped by the run bound
+			// and a maximum quantum so the engine periodically
+			// regains control from non-yielding loops.
+			_, horizon := e.pickCoro(co)
+			if evTime < horizon {
+				horizon = evTime
+			}
+			if until < horizon {
+				horizon = until
+			}
+			if q := coTime + maxQuantum; q < horizon {
+				horizon = q
+			}
+			e.resumeCoro(co, horizon)
+		}
+	}
+}
+
+// pickCoro returns the runnable coro with the smallest clock (excluding
+// skip), breaking ties by creation order, along with its clock time.
+func (e *Engine) pickCoro(skip *Coro) (*Coro, uint64) {
+	var best *Coro
+	bestTime := uint64(math.MaxUint64)
+	for _, co := range e.coros {
+		if co == skip || !co.runnable || co.done {
+			continue
+		}
+		t := co.clock.now
+		if t < bestTime || (t == bestTime && best != nil && co.id < best.id) {
+			best, bestTime = co, t
+		}
+	}
+	return best, bestTime
+}
+
+// resumeCoro transfers control to co until it yields back.
+func (e *Engine) resumeCoro(co *Coro, horizon uint64) {
+	e.current = co
+	if !co.started {
+		co.started = true
+		go func() {
+			h := <-co.resume
+			co.ctx.horizon = h
+			co.fn(co.ctx)
+			co.done = true
+			co.runnable = false
+			e.yieldCh <- co
+		}()
+	}
+	co.resume <- horizon
+	<-e.yieldCh
+	e.current = nil
+}
+
+// yield suspends the calling coroutine and returns control to the engine;
+// the coroutine resumes (with a fresh horizon) when next scheduled.
+func (ctx *Ctx) yield() {
+	co := ctx.co
+	co.eng.yieldCh <- co
+	ctx.horizon = <-co.resume
+}
+
+// Advance charges cycles cycles to the coroutine's current clock, yielding
+// to the engine if another entity is now more urgent. This is the
+// fundamental cost-charging primitive: every simulated action calls it.
+func (ctx *Ctx) Advance(cycles uint64) {
+	c := ctx.co.clock
+	c.now += cycles
+	if c.now > ctx.horizon {
+		ctx.yield()
+	}
+}
+
+// Now reports the coroutine's current clock time.
+func (ctx *Ctx) Now() uint64 { return ctx.co.clock.now }
+
+// Coro returns the coroutine the context belongs to.
+func (ctx *Ctx) Coro() *Coro { return ctx.co }
+
+// Engine returns the owning engine.
+func (ctx *Ctx) Engine() *Engine { return ctx.co.eng }
+
+// Park suspends the calling coroutine until another entity unparks it.
+// On resume, the coroutine's clock (which may have been rebound by the
+// unparker) is advanced to at least the engine's global time, modeling a
+// CPU that was idle until the wakeup.
+func (ctx *Ctx) Park() {
+	co := ctx.co
+	co.runnable = false
+	ctx.yield()
+	co.clock.AdvanceTo(co.eng.now)
+}
+
+// Reschedule forces a yield without charging time, letting equally urgent
+// entities interleave at a known point.
+func (ctx *Ctx) Reschedule() { ctx.yield() }
+
+// eventHeap is a min-heap of events ordered by (at, seq).
+type eventHeap []*event
+
+func (h *eventHeap) push(ev *event) {
+	*h = append(*h, ev)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if less((*h)[i], (*h)[p]) {
+			(*h)[i], (*h)[p] = (*h)[p], (*h)[i]
+			i = p
+		} else {
+			break
+		}
+	}
+}
+
+func (h *eventHeap) pop() *event {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	old[n] = nil
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && less(old[l], old[m]) {
+			m = l
+		}
+		if r < n && less(old[r], old[m]) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		old[i], old[m] = old[m], old[i]
+		i = m
+	}
+	return top
+}
+
+func less(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// DebugState renders the engine's coroutine states for diagnostics.
+func DebugState(e *Engine) string {
+	s := ""
+	for _, co := range e.coros {
+		state := "parked"
+		if co.done {
+			state = "done"
+		} else if co.runnable {
+			state = "runnable"
+		}
+		clk := uint64(0)
+		if co.clock != nil {
+			clk = co.clock.now
+		}
+		s += co.name + "=" + state + "@" + u64str(clk) + " "
+	}
+	if e.current != nil {
+		s += "| current=" + e.current.name
+	}
+	s += "| events=" + u64str(uint64(len(e.events)))
+	return s
+}
+
+func u64str(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [24]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}

@@ -1,0 +1,43 @@
+package sim
+
+// Rand is a small deterministic pseudo-random source (SplitMix64) used by
+// workload generators. It exists so simulated behaviour never depends on
+// global math/rand state: every workload seeds its own Rand and replays
+// identically.
+type Rand struct{ state uint64 }
+
+// NewRand returns a generator seeded with seed.
+func NewRand(seed uint64) *Rand { return &Rand{state: seed} }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}

@@ -1,0 +1,205 @@
+package srm
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"vpp/internal/aklib"
+	"vpp/internal/hw"
+	"vpp/internal/hw/dev"
+)
+
+// Distributed SRM coordination (paper §3): "The SRM communicates with
+// other instances of itself on other MPMs using the RPC facility,
+// coordinating to provide distributed scheduling ... The SRM is
+// replicated on each MPM for failure autonomy between MPMs."
+//
+// Each SRM runs a network thread that serves a small protocol over a
+// fiber-channel link: load reports for distributed scheduling decisions,
+// and remote-launch requests so work can be placed on the least loaded
+// MPM. A link failure only severs coordination — each SRM keeps running
+// its own MPM, which is the fault-containment property the replication
+// exists for.
+
+// Peer message opcodes.
+const (
+	peerLoadReport   = 1
+	peerLaunchReq    = 2
+	peerLaunchReply  = 3
+	peerReportPlease = 4
+)
+
+// LoadReport summarizes one MPM's load for distributed scheduling.
+type LoadReport struct {
+	LoadedThreads uint32
+	FreeGroups    uint32
+	At            uint64
+}
+
+// PeerLink is one SRM's end of a fiber link to a peer SRM.
+type PeerLink struct {
+	S    *SRM
+	Port *dev.FiberPort
+
+	netd *aklib.Thread
+
+	// Remote is the latest load report from the peer.
+	Remote LoadReport
+	// launches counts remote-launch requests served locally.
+	Served uint64
+
+	// services the peer may launch here by name, with their launch
+	// options.
+	services    map[string]func(ak *aklib.AppKernel, e *hw.Exec)
+	serviceOpts map[string]LaunchOpts
+
+	pendingReply []byte
+	replyFor     uint32
+	nextSeq      uint32
+	stop         bool
+}
+
+// RegisterService makes a named application-kernel main launchable by
+// the peer.
+func (l *PeerLink) RegisterService(name string, opts LaunchOpts, main func(ak *aklib.AppKernel, e *hw.Exec)) {
+	l.services[name] = main
+	l.serviceOpts[name] = opts
+}
+
+// ConnectPeer starts the SRM's network thread on a fiber port. Call from
+// the SRM's main thread.
+func (s *SRM) ConnectPeer(e *hw.Exec, port *dev.FiberPort) (*PeerLink, error) {
+	l := &PeerLink{
+		S: s, Port: port,
+		services:    make(map[string]func(*aklib.AppKernel, *hw.Exec)),
+		serviceOpts: make(map[string]LaunchOpts),
+	}
+	l.netd = s.NewThread("netd", s.SpaceID, 38, func(ne *hw.Exec) { l.serve(ne) })
+	if err := l.netd.Load(e, false); err != nil {
+		return nil, err
+	}
+	port.OnRx = func() {
+		if l.netd.Loaded {
+			s.CK.RaiseDeviceSignal(l.netd.TID, 1)
+		}
+	}
+	return l, nil
+}
+
+// Stop halts the network thread after its next message.
+func (l *PeerLink) Stop(e *hw.Exec) {
+	l.stop = true
+	if l.netd.Loaded {
+		_ = l.S.CK.PostSignal(e, l.netd.TID, 0)
+	}
+}
+
+// serve is the network thread's loop.
+func (l *PeerLink) serve(e *hw.Exec) {
+	k := l.S.CK
+	for !l.stop {
+		if _, err := k.WaitSignal(e); err != nil {
+			return
+		}
+		for {
+			msg, ok := l.Port.Recv(e)
+			if !ok {
+				break
+			}
+			l.handle(e, msg)
+		}
+	}
+}
+
+func (l *PeerLink) handle(e *hw.Exec, msg []byte) {
+	if len(msg) < 5 {
+		return
+	}
+	op := msg[0]
+	seq := binary.LittleEndian.Uint32(msg[1:5])
+	body := msg[5:]
+	switch op {
+	case peerLoadReport:
+		if len(body) >= 16 {
+			l.Remote = LoadReport{
+				LoadedThreads: binary.LittleEndian.Uint32(body[0:4]),
+				FreeGroups:    binary.LittleEndian.Uint32(body[4:8]),
+				At:            binary.LittleEndian.Uint64(body[8:16]),
+			}
+		}
+	case peerReportPlease:
+		_ = l.sendReport(e, seq)
+	case peerLaunchReq:
+		name := string(body)
+		ok := byte(0)
+		if main, exists := l.services[name]; exists {
+			if _, err := l.S.Launch(e, fmt.Sprintf("%s@remote%d", name, seq), l.serviceOpts[name], main); err == nil {
+				ok = 1
+				l.Served++
+			}
+		}
+		_ = l.send(e, peerLaunchReply, seq, []byte{ok})
+	case peerLaunchReply:
+		if seq == l.replyFor {
+			l.pendingReply = append([]byte(nil), body...)
+		}
+	}
+}
+
+// send transmits one protocol message.
+func (l *PeerLink) send(e *hw.Exec, op byte, seq uint32, body []byte) error {
+	msg := make([]byte, 5+len(body))
+	msg[0] = op
+	binary.LittleEndian.PutUint32(msg[1:5], seq)
+	copy(msg[5:], body)
+	return l.Port.Send(e, msg)
+}
+
+// sendReport transmits the local load report.
+func (l *PeerLink) sendReport(e *hw.Exec, seq uint32) error {
+	body := make([]byte, 16)
+	binary.LittleEndian.PutUint32(body[0:4], uint32(l.S.CK.Stats.ThreadLoads-l.S.CK.Stats.ThreadUnloads))
+	binary.LittleEndian.PutUint32(body[4:8], uint32(l.S.groups.Available()))
+	binary.LittleEndian.PutUint64(body[8:16], e.Now())
+	return l.send(e, peerLoadReport, seq, body)
+}
+
+// QueryPeerLoad asks the peer for a load report and waits briefly for
+// it. Call from the SRM main thread (not the network thread).
+func (l *PeerLink) QueryPeerLoad(e *hw.Exec) (LoadReport, bool) {
+	before := l.Remote.At
+	l.nextSeq++
+	if err := l.send(e, peerReportPlease, l.nextSeq, nil); err != nil {
+		return LoadReport{}, false
+	}
+	deadline := e.Now() + hw.CyclesFromMicros(50_000)
+	for l.Remote.At <= before {
+		if e.Now() > deadline {
+			return LoadReport{}, false
+		}
+		e.Charge(1000)
+	}
+	return l.Remote, true
+}
+
+// RemoteLaunch asks the peer SRM to launch one of its registered
+// services, waiting for the reply.
+func (l *PeerLink) RemoteLaunch(e *hw.Exec, name string) error {
+	l.nextSeq++
+	l.replyFor = l.nextSeq
+	l.pendingReply = nil
+	if err := l.send(e, peerLaunchReq, l.nextSeq, []byte(name)); err != nil {
+		return err
+	}
+	deadline := e.Now() + hw.CyclesFromMicros(200_000)
+	for l.pendingReply == nil {
+		if e.Now() > deadline {
+			return fmt.Errorf("srm: remote launch of %q timed out", name)
+		}
+		e.Charge(1000)
+	}
+	if l.pendingReply[0] != 1 {
+		return fmt.Errorf("srm: peer refused launch of %q", name)
+	}
+	return nil
+}

@@ -1,0 +1,243 @@
+package unixemu
+
+import (
+	"vpp/internal/hw"
+)
+
+// RamFS is the emulator's RAM-disk file system: the backing store for
+// demand paging and the target of read/write system calls. The paper's
+// system paged to disk or over the network; a RAM disk with a charged
+// per-page transfer latency preserves the property the evaluation relies
+// on — that page I/O dominates Cache Kernel mapping costs (§5.2).
+type RamFS struct {
+	files map[string]*File
+
+	// PageIOCycles is the simulated latency charged per page of backing
+	// store transfer (default 2 ms: a fast 1994 disk with some cache).
+	PageIOCycles uint64
+
+	// PageReads / PageWrites count backing transfers.
+	PageReads, PageWrites uint64
+}
+
+// File is one RAM-disk file.
+type File struct {
+	Name string
+	Data []byte
+}
+
+// NewRamFS returns an empty file system.
+func NewRamFS() *RamFS {
+	return &RamFS{
+		files:        make(map[string]*File),
+		PageIOCycles: 2 * 1000 * hw.CyclesPerMicrosecond,
+	}
+}
+
+// Create makes (or truncates) a file.
+func (fs *RamFS) Create(name string) *File {
+	f := &File{Name: name}
+	fs.files[name] = f
+	return f
+}
+
+// Open looks up a file.
+func (fs *RamFS) Open(name string) (*File, bool) {
+	f, ok := fs.files[name]
+	return f, ok
+}
+
+// WriteAt writes b at offset off, growing the file.
+func (f *File) WriteAt(off uint32, b []byte) {
+	end := int(off) + len(b)
+	for len(f.Data) < end {
+		f.Data = append(f.Data, 0)
+	}
+	copy(f.Data[off:end], b)
+}
+
+// ReadAt reads up to n bytes at off.
+func (f *File) ReadAt(off, n uint32) []byte {
+	if off >= uint32(len(f.Data)) {
+		return nil
+	}
+	end := off + n
+	if end > uint32(len(f.Data)) {
+		end = uint32(len(f.Data))
+	}
+	out := make([]byte, end-off)
+	copy(out, f.Data[off:end])
+	return out
+}
+
+// Size reports the file length.
+func (f *File) Size() uint32 { return uint32(len(f.Data)) }
+
+// FD is an open file descriptor.
+type FD struct {
+	file *File
+	off  uint32
+}
+
+// swapBacking adapts a RAM-disk file to aklib.BackingStore for demand
+// paging: page idx of the segment lives at byte offset idx*PageSize.
+type swapBacking struct {
+	fs   *RamFS
+	file *File
+}
+
+// SwapBacking returns (creating if needed) a backing store over the
+// named file.
+func (fs *RamFS) SwapBacking(name string) *swapBacking {
+	f, ok := fs.files[name]
+	if !ok {
+		f = fs.Create(name)
+	}
+	return &swapBacking{fs: fs, file: f}
+}
+
+// ReadPage implements aklib.BackingStore: fill the frame from the file
+// (zero-fill beyond EOF), charging the page transfer latency.
+func (b *swapBacking) ReadPage(e *hw.Exec, pageIdx uint32, pfn uint32) {
+	e.Charge(b.fs.PageIOCycles)
+	b.fs.PageReads++
+	frame := e.MPM.Machine.Phys.Page(pfn)
+	data := b.file.ReadAt(pageIdx*hw.PageSize, hw.PageSize)
+	copy(frame[:], data)
+	for i := len(data); i < hw.PageSize; i++ {
+		frame[i] = 0
+	}
+}
+
+// WritePage implements aklib.BackingStore: save the frame to the file.
+func (b *swapBacking) WritePage(e *hw.Exec, pageIdx uint32, pfn uint32) {
+	e.Charge(b.fs.PageIOCycles)
+	b.fs.PageWrites++
+	frame := e.MPM.Machine.Phys.Page(pfn)
+	b.file.WriteAt(pageIdx*hw.PageSize, frame[:])
+}
+
+// --- user-memory access from the emulator ---
+
+// copyIn reads n bytes of a process's memory starting at va, paging in
+// as needed. It runs in the emulator's context (the handler's space is
+// the emulator's, so access goes through physical addresses).
+func (u *Unix) copyIn(e *hw.Exec, p *Proc, va, n uint32) ([]byte, bool) {
+	out := make([]byte, 0, n)
+	for i := uint32(0); i < n; i++ {
+		pa, ok := p.sm.ResolvePA(e, va+i)
+		if !ok {
+			return nil, false
+		}
+		e.Charge(hw.CostMemHit)
+		out = append(out, e.MPM.Machine.Phys.Read8(pa))
+	}
+	return out, true
+}
+
+// copyOut writes b into a process's memory at va.
+func (u *Unix) copyOut(e *hw.Exec, p *Proc, va uint32, b []byte) bool {
+	for i, v := range b {
+		pa, ok := p.sm.ResolvePA(e, va+uint32(i))
+		if !ok {
+			return false
+		}
+		e.Charge(hw.CostMemHit)
+		e.MPM.Machine.Phys.Write8(pa, v)
+	}
+	return true
+}
+
+// copyInString reads a NUL-terminated string (capped at 256 bytes).
+func (u *Unix) copyInString(e *hw.Exec, p *Proc, va uint32) (string, bool) {
+	var out []byte
+	for i := uint32(0); i < 256; i++ {
+		pa, ok := p.sm.ResolvePA(e, va+i)
+		if !ok {
+			return "", false
+		}
+		e.Charge(hw.CostMemHit)
+		c := e.MPM.Machine.Phys.Read8(pa)
+		if c == 0 {
+			return string(out), true
+		}
+		out = append(out, c)
+	}
+	return "", false
+}
+
+// open implements open(2)/creat(2): the path is a NUL-terminated string
+// in user memory.
+func (u *Unix) open(e *hw.Exec, p *Proc, pathVA uint32, creat bool) (uint32, uint32) {
+	path, ok := u.copyInString(e, p, pathVA)
+	if !ok {
+		return errno(EFAULT)
+	}
+	f, exists := u.FS.Open(path)
+	if !exists {
+		if !creat {
+			return errno(ENOENT)
+		}
+		f = u.FS.Create(path)
+	}
+	for i, fd := range p.fds {
+		if fd == nil && i >= 3 {
+			p.fds[i] = &FD{file: f}
+			return uint32(i), 0
+		}
+	}
+	if len(p.fds) >= 64 {
+		return errno(EMFILE)
+	}
+	p.fds = append(p.fds, &FD{file: f})
+	return uint32(len(p.fds) - 1), 0
+}
+
+// close implements close(2).
+func (u *Unix) close(p *Proc, fd int) (uint32, uint32) {
+	if fd < 0 || fd >= len(p.fds) || p.fds[fd] == nil {
+		return errno(EBADF)
+	}
+	p.fds[fd] = nil
+	return 0, 0
+}
+
+// Console accumulates writes to fds 1 and 2.
+type consoleBuf struct{ data []byte }
+
+// readWrite implements read(2)/write(2) on the RAM disk and console.
+func (u *Unix) readWrite(e *hw.Exec, p *Proc, fd int, va, n uint32, write bool) (uint32, uint32) {
+	if fd == 1 || fd == 2 {
+		if !write {
+			return 0, 0 // EOF on reading the console
+		}
+		b, ok := u.copyIn(e, p, va, n)
+		if !ok {
+			return errno(EFAULT)
+		}
+		u.Console = append(u.Console, b...)
+		return n, 0
+	}
+	if fd < 0 || fd >= len(p.fds) || p.fds[fd] == nil {
+		return errno(EBADF)
+	}
+	d := p.fds[fd]
+	if write {
+		b, ok := u.copyIn(e, p, va, n)
+		if !ok {
+			return errno(EFAULT)
+		}
+		// Charge a transfer cost proportional to size.
+		e.Charge(uint64(n) / 4 * hw.CostMemHit)
+		d.file.WriteAt(d.off, b)
+		d.off += n
+		return n, 0
+	}
+	b := d.file.ReadAt(d.off, n)
+	e.Charge(uint64(len(b)) / 4 * hw.CostMemHit)
+	if !u.copyOut(e, p, va, b) {
+		return errno(EFAULT)
+	}
+	d.off += uint32(len(b))
+	return uint32(len(b)), 0
+}
