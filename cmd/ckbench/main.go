@@ -10,9 +10,15 @@
 //	s52c  §5.2 MP3D page-locality degradation
 //	a1    ablation: reverse-TLB vs two-stage signal delivery
 //	a7    ablation: LRU vs application-controlled database paging
+//
+// -hostperf instead measures host-side simulator throughput (virtual
+// results are unaffected by it); with -json the report is also written
+// to BENCH_hostperf.json for comparison across commits (see
+// EXPERIMENTS.md).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,7 +31,17 @@ import (
 func main() {
 	expFlag := flag.String("exp", "all", "experiments to run (comma separated)")
 	full := flag.Bool("full", false, "use the paper's full 65536-descriptor pool in s52b (slower)")
+	hostperf := flag.Bool("hostperf", false, "measure host-side simulator throughput instead of running experiments")
+	jsonOut := flag.Bool("json", false, "with -hostperf, also write BENCH_hostperf.json")
 	flag.Parse()
+
+	if *hostperf {
+		if err := runHostperf(*jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	want := map[string]bool{}
 	for _, name := range strings.Split(*expFlag, ",") {
@@ -57,6 +73,7 @@ func main() {
 		t2, err := exp.MeasureTable2()
 		if check(err) {
 			fmt.Println(t2)
+			fmt.Println(t2.Counters())
 		}
 	}
 	if section("s52a", "descriptor memory budget (paper §5.2)") {
@@ -93,4 +110,26 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// runHostperf measures host throughput and prints the report; with
+// writeJSON it also records BENCH_hostperf.json in the current
+// directory.
+func runHostperf(writeJSON bool) error {
+	r, err := exp.MeasureHostperf()
+	if err != nil {
+		return err
+	}
+	fmt.Print(r)
+	if writeJSON {
+		b, err := json.MarshalIndent(r, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile("BENCH_hostperf.json", append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote BENCH_hostperf.json")
+	}
+	return nil
 }

@@ -35,6 +35,16 @@ type Table2 struct {
 	SignalReturn   float64 // 27
 	PageFaultTotal float64 // 99
 	FaultTransfer  float64 // 32
+
+	// Host-observability counters for the run that produced the table:
+	// engine scheduling steps and the MPM's TLB and L2 hit/miss totals.
+	// They are not part of the paper's table (String leaves them out; see
+	// Counters) but make cost-model regressions visible in the same run
+	// that measures operation times — any host-side data-structure change
+	// that perturbs the simulation shows up here first.
+	SchedSteps         uint64
+	TLBHits, TLBMisses uint64
+	L2Hits, L2Misses   uint64
 }
 
 // PaperTable2 is the published Table 2 / Section 5.3 data for
@@ -105,6 +115,13 @@ func MeasureTable2(cfg Config) (Table2, error) {
 	if err := m.Run(math.MaxUint64); err != nil {
 		return out, err
 	}
+	out.SchedSteps = m.Eng.Steps()
+	for _, c := range m.MPMs[0].CPUs {
+		h, mi := c.TLB.Stats()
+		out.TLBHits += h
+		out.TLBMisses += mi
+	}
+	out.L2Hits, out.L2Misses = m.MPMs[0].L2.Stats()
 	return out, measureErr
 }
 
@@ -360,4 +377,13 @@ func (t Table2) String() string {
 	s += row("page fault total", t.PageFaultTotal, p.PageFaultTotal)
 	s += row("fault transfer", t.FaultTransfer, p.FaultTransfer)
 	return s
+}
+
+// Counters renders the run's scheduling and memory-system counters as a
+// stanza separate from the paper table, so the table itself stays
+// comparable across revisions byte for byte.
+func (t Table2) Counters() string {
+	return fmt.Sprintf(
+		"simulation counters: sched steps %d, TLB %d hits / %d misses, L2 %d hits / %d misses",
+		t.SchedSteps, t.TLBHits, t.TLBMisses, t.L2Hits, t.L2Misses)
 }

@@ -1,0 +1,74 @@
+package exp
+
+import (
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestScheduleTraceGolden is the determinism regression for the engine
+// and MMU fast paths: it boots two Cache Kernels on a two-MPM machine,
+// runs a mixed workload (demand faults, traps, signals, alarms,
+// short-lived threads), and asserts that the FNV-1a hash of the
+// (coroutine-name, dispatch-time) schedule trace, the dispatch count,
+// the scheduling-step count and the final virtual clock all match the
+// committed golden file — which was generated on the unoptimized
+// linear-scan scheduler. Any host-side data-structure change that
+// perturbs virtual time or scheduling order fails this test.
+func TestScheduleTraceGolden(t *testing.T) {
+	first, err := runDeterminismWorkload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := runDeterminismWorkload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Fatalf("back-to-back runs diverge:\n%s\nvs\n%s", first, second)
+	}
+
+	golden := filepath.Join("testdata", "schedule_trace.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(first), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to generate)", err)
+	}
+	if string(want) != first {
+		t.Fatalf("schedule trace diverged from golden:\ngot:\n%s\nwant:\n%s", first, string(want))
+	}
+}
+
+// runDeterminismWorkload executes the mixed two-MPM workload and
+// renders its schedule fingerprint.
+func runDeterminismWorkload() (string, error) {
+	h := fnv.New64a()
+	var dispatches uint64
+	trace := func(name string, at uint64) {
+		dispatches++
+		var buf [8]byte
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(at >> (8 * i))
+		}
+		h.Write([]byte(name))
+		h.Write(buf[:])
+	}
+	cycles, steps, err := RunDeterminismWorkload(trace)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("fnv64a %016x\ndispatches %d\nsteps %d\nfinal_clock %d\n",
+		h.Sum64(), dispatches, steps, cycles), nil
+}

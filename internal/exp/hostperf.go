@@ -1,0 +1,242 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"time"
+
+	"vpp/internal/ck"
+	"vpp/internal/hw"
+	"vpp/internal/pagetable"
+	"vpp/internal/sim"
+)
+
+// HostperfReport records host-side simulator throughput: how fast the
+// host executes simulated work, independent of the (unchanged) virtual
+// cycle charges. cmd/ckbench -hostperf emits it as BENCH_hostperf.json
+// so the performance trajectory is tracked across PRs; EXPERIMENTS.md
+// explains how to compare runs.
+type HostperfReport struct {
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+
+	// Engine-step microbenchmark: 256 runnable coroutines, each
+	// scheduling decision a heap/scan pick plus one coroutine handoff.
+	EngineStepCoros   int     `json:"engine_step_coros"`
+	EngineSteps       uint64  `json:"engine_steps"`
+	EngineStepHostMs  float64 `json:"engine_step_host_ms"`
+	EngineStepsPerSec float64 `json:"engine_steps_per_sec"`
+
+	// Translate hit path: repeated MMU translations of one hot resident
+	// page — the case the per-Exec micro-cache serves. Rotating working
+	// sets are covered by BenchmarkTLBLookup in internal/hw.
+	TranslateOps     uint64  `json:"translate_ops"`
+	TranslateHostMs  float64 `json:"translate_host_ms"`
+	TranslateNsPerOp float64 `json:"translate_ns_per_op"`
+
+	// Full boot + workload: a Cache Kernel boot running a getpid loop
+	// alongside waves of short-lived threads (the ckos-style shape that
+	// accumulates finished contexts).
+	BootGetpidLoops     int     `json:"boot_getpid_loops"`
+	BootWorkerWaves     int     `json:"boot_worker_waves"`
+	BootSimCycles       uint64  `json:"boot_sim_cycles"`
+	BootSimMicros       float64 `json:"boot_sim_micros"`
+	BootSchedSteps      uint64  `json:"boot_sched_steps"`
+	BootHostMs          float64 `json:"boot_host_ms"`
+	BootSimCyclesPerSec float64 `json:"boot_sim_cycles_per_sec"`
+	// HostNsPerSimMicro is host nanoseconds spent per simulated
+	// microsecond of the boot workload — the headline "how much slower
+	// than the hardware are we" number.
+	HostNsPerSimMicro float64 `json:"boot_host_ns_per_sim_micro"`
+}
+
+func (r HostperfReport) String() string {
+	return fmt.Sprintf(
+		"engine step (%d coros): %.0f steps/sec (%d steps in %.1f ms)\n"+
+			"translate hit path:       %.1f ns/op (%d ops in %.1f ms)\n"+
+			"boot+getpid workload:     %.0f sim-cycles/sec, %.0f host-ns per sim-µs\n"+
+			"                          (%d sim-cycles = %.0f sim-µs in %.1f ms, %d sched steps)\n",
+		r.EngineStepCoros, r.EngineStepsPerSec, r.EngineSteps, r.EngineStepHostMs,
+		r.TranslateNsPerOp, r.TranslateOps, r.TranslateHostMs,
+		r.BootSimCyclesPerSec, r.HostNsPerSimMicro,
+		r.BootSimCycles, r.BootSimMicros, r.BootHostMs, r.BootSchedSteps)
+}
+
+// hostperfEngineStep runs steps scheduling decisions over coros
+// runnable coroutines and reports the wall time.
+func hostperfEngineStep(coros int, steps uint64) time.Duration {
+	e := sim.NewEngine()
+	for i := 0; i < coros; i++ {
+		clk := sim.NewClock("c")
+		co := e.NewCoro("w", func(ctx *sim.Ctx) {
+			for {
+				ctx.Advance(10)
+				ctx.Reschedule()
+			}
+		})
+		e.UnparkOn(co, clk)
+	}
+	e.MaxSteps = steps
+	t0 := time.Now()
+	_ = e.Run(math.MaxUint64)
+	return time.Since(t0)
+}
+
+// hostperfTranslate runs ops hot-path translations and reports the wall
+// time.
+func hostperfTranslate(ops uint64) (time.Duration, error) {
+	m := hw.NewMachine(hw.DefaultConfig())
+	mpm := m.MPMs[0]
+	tbl, err := pagetable.New(nil)
+	if err != nil {
+		return 0, err
+	}
+	tbl.Insert(0x100_0000, pagetable.MakePTE(512, pagetable.PTEValid|pagetable.PTEWrite))
+	sp := &hw.Space{Table: tbl, ASID: 1}
+	e := mpm.NewExec("xlate", func(e *hw.Exec) {
+		e.Space = sp
+		for i := uint64(0); i < ops; i++ {
+			e.Translate(0x100_0000, false)
+		}
+	})
+	mpm.CPUs[0].Dispatch(e)
+	t0 := time.Now()
+	if err := m.Run(math.MaxUint64); err != nil {
+		return 0, err
+	}
+	return time.Since(t0), nil
+}
+
+// RunHostperfBoot boots a Cache Kernel and runs the hostperf workload:
+// a user thread looping trap(getpid) + page touches for loops
+// iterations, while the boot thread launches waves of short-lived
+// worker threads that fault pages in, trap, and exit. It returns the
+// final virtual time and the engine's scheduling-step count. The
+// workload is deterministic; only its host-side wall time varies.
+func RunHostperfBoot(loops, waves int) (simCycles, steps uint64, err error) {
+	m := hw.NewMachine(hw.DefaultConfig())
+	k, err := ck.New(m.MPMs[0], ck.Config{})
+	if err != nil {
+		return 0, 0, err
+	}
+	const sysGetpid = 20
+	attrs := ck.KernelAttrs{
+		Name: "hostperf",
+		Trap: func(e *hw.Exec, th ck.ObjID, no uint32, args []uint32) (uint32, uint32) {
+			if no == sysGetpid {
+				e.Instr(6)
+				return 77, 0
+			}
+			return ^uint32(0), 0
+		},
+		LockQuota: [4]int{4, 8, 16, 256},
+	}
+	const winBase = uint32(0x2000_0000)
+	const winPages = 192
+	attrs.Fault = func(fe *hw.Exec, th, space ck.ObjID, va uint32, write bool, kind hw.Fault) bool {
+		if va < winBase || va >= winBase+winPages*hw.PageSize {
+			return false
+		}
+		err := k.LoadMappingAndResume(fe, space, ck.MappingSpec{
+			VA:       va &^ (hw.PageSize - 1),
+			PFN:      2048 + (va>>hw.PageShift)%1024,
+			Writable: true, Cachable: true,
+		})
+		return err == nil
+	}
+
+	var bodyErr error
+	body := func(e *hw.Exec) {
+		sid, err := k.LoadSpace(e, false)
+		if err != nil {
+			bodyErr = err
+			return
+		}
+		loopDone := false
+		loopExec := k.MPM.NewExec("getpid-loop", func(ue *hw.Exec) {
+			for i := 0; i < loops; i++ {
+				ue.Trap(sysGetpid)
+				ue.Touch(winBase+uint32(i%64)*hw.PageSize, false)
+			}
+			loopDone = true
+		})
+		if _, err := k.LoadThread(e, sid, ck.ThreadState{Priority: 30, Exec: loopExec}, false); err != nil {
+			bodyErr = err
+			return
+		}
+		// Waves of short-lived workers: each faults a few pages, traps,
+		// and exits, leaving a finished context behind.
+		for w := 0; w < waves; w++ {
+			for j := 0; j < 8; j++ {
+				base := winBase + uint32(64+(w*8+j)%128)*hw.PageSize
+				we := k.MPM.NewExec(fmt.Sprintf("worker-%d-%d", w, j), func(ue *hw.Exec) {
+					for p := uint32(0); p < 4; p++ {
+						ue.Touch(base+p*hw.PageSize, true)
+					}
+					ue.Trap(sysGetpid)
+				})
+				if _, err := k.LoadThread(e, sid, ck.ThreadState{Priority: 28, Exec: we}, false); err != nil {
+					bodyErr = err
+					return
+				}
+			}
+			e.Charge(hw.CyclesFromMicros(300))
+		}
+		for i := 0; i < loops*8 && !loopDone; i++ {
+			e.Charge(2000)
+		}
+		if !loopDone {
+			bodyErr = fmt.Errorf("hostperf: getpid loop did not finish")
+		}
+	}
+	if _, err := k.Boot(attrs, 40, body); err != nil {
+		return 0, 0, err
+	}
+	m.Eng.MaxSteps = 2_000_000_000
+	if err := m.Run(math.MaxUint64); err != nil {
+		return 0, 0, err
+	}
+	return m.Eng.Now(), m.Eng.Steps(), bodyErr
+}
+
+// MeasureHostperf runs the three host-performance benchmarks at fixed
+// sizes and assembles the report.
+func MeasureHostperf() (HostperfReport, error) {
+	r := HostperfReport{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+
+	r.EngineStepCoros = 256
+	r.EngineSteps = 1 << 19
+	d := hostperfEngineStep(r.EngineStepCoros, r.EngineSteps)
+	r.EngineStepHostMs = float64(d.Nanoseconds()) / 1e6
+	r.EngineStepsPerSec = float64(r.EngineSteps) / d.Seconds()
+
+	r.TranslateOps = 1 << 21
+	d, err := hostperfTranslate(r.TranslateOps)
+	if err != nil {
+		return r, err
+	}
+	r.TranslateHostMs = float64(d.Nanoseconds()) / 1e6
+	r.TranslateNsPerOp = float64(d.Nanoseconds()) / float64(r.TranslateOps)
+
+	r.BootGetpidLoops = 4000
+	r.BootWorkerWaves = 96
+	t0 := time.Now()
+	cycles, steps, err := RunHostperfBoot(r.BootGetpidLoops, r.BootWorkerWaves)
+	d = time.Since(t0)
+	if err != nil {
+		return r, err
+	}
+	r.BootSimCycles = cycles
+	r.BootSimMicros = hw.MicrosFromCycles(cycles)
+	r.BootSchedSteps = steps
+	r.BootHostMs = float64(d.Nanoseconds()) / 1e6
+	r.BootSimCyclesPerSec = float64(cycles) / d.Seconds()
+	r.HostNsPerSimMicro = float64(d.Nanoseconds()) / r.BootSimMicros
+	return r, nil
+}

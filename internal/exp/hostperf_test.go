@@ -1,0 +1,35 @@
+package exp
+
+import "testing"
+
+// TestHostperfBootDeterministic checks that the hostperf boot workload
+// is virtually deterministic: wall time may vary run to run, but the
+// simulated cycle count and the engine's scheduling-step count must
+// not. A scaled-down instance keeps the test fast.
+func TestHostperfBootDeterministic(t *testing.T) {
+	c1, s1, err := RunHostperfBoot(200, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, s2, err := RunHostperfBoot(200, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 || s1 != s2 {
+		t.Fatalf("runs diverge: (%d cycles, %d steps) vs (%d cycles, %d steps)", c1, s1, c2, s2)
+	}
+	if c1 == 0 || s1 == 0 {
+		t.Fatalf("empty run: %d cycles, %d steps", c1, s1)
+	}
+}
+
+// BenchmarkHostperfBoot times the full boot + getpid-loop workload at
+// the sizes MeasureHostperf reports, for profiling and for quick
+// before/after comparisons without the full -hostperf run.
+func BenchmarkHostperfBoot(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := RunHostperfBoot(4000, 96); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

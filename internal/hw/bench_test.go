@@ -27,6 +27,30 @@ func BenchmarkL2Access(b *testing.B) {
 	}
 }
 
+// BenchmarkTranslateHit measures the MMU translation hot path alone: a
+// repeated translation of one resident page, which after the first fill
+// is a pure TLB hit on every iteration.
+func BenchmarkTranslateHit(b *testing.B) {
+	m := NewMachine(DefaultConfig())
+	mpm := m.MPMs[0]
+	tbl, _ := pagetable.New(nil)
+	tbl.Insert(0x100_0000, pagetable.MakePTE(512, pagetable.PTEValid|pagetable.PTEWrite))
+	sp := &Space{Table: tbl, ASID: 1}
+	n := b.N
+	e := mpm.NewExec("bench", func(e *Exec) {
+		e.Space = sp
+		e.Translate(0x100_0000, false) // fill
+		for i := 0; i < n; i++ {
+			e.Translate(0x100_0000, false)
+		}
+	})
+	mpm.CPUs[0].Dispatch(e)
+	b.ResetTimer()
+	if err := m.Run(math.MaxUint64); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkSimulatedMemoryAccess measures the full simulated load path
 // (translate, cache model, physical read) per host second.
 func BenchmarkSimulatedMemoryAccess(b *testing.B) {

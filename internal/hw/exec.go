@@ -53,6 +53,21 @@ type Exec struct {
 	ctx      *sim.Ctx
 	devClock *sim.Clock // non-nil for device executions
 	finished bool
+
+	// mc is a one-entry translation micro-cache: the last (asid, vpn)
+	// pair this context translated through a TLB hit, valid only while
+	// the owning TLB's generation is unchanged. It short-circuits the
+	// host-side TLB lookup on the (dominant) repeated-page case while
+	// charging the identical cycles and recording the identical hit —
+	// a host data structure, not a change to the machine model.
+	mc struct {
+		tlb  *TLB
+		gen  uint64
+		asid uint16
+		ok   bool
+		vpn  uint32
+		pte  pagetable.PTE
+	}
 }
 
 type execExit struct{ e *Exec }
@@ -243,6 +258,20 @@ func (e *Exec) Translate(va uint32, write bool) (uint32, pagetable.PTE) {
 		e.Charge(CostInstr)
 		sp := e.Space
 		vpn := va >> PageShift
+		// Micro-cache fast path: same page, same TLB, no TLB mutation
+		// since the entry was cached. Only the pure-hit case is taken;
+		// anything needing TLB or table work (modified-bit upgrade,
+		// permission mismatch) falls through to the full path so the
+		// charge and statistics sequences stay identical.
+		if mc := &e.mc; mc.ok && mc.vpn == vpn && mc.asid == sp.ASID &&
+			mc.tlb == cpu.TLB && mc.gen == cpu.TLB.gen {
+			pte := mc.pte
+			if pte.Valid() && (!write || pte.Writable()) &&
+				!(write && pte&pagetable.PTEModified == 0) {
+				cpu.TLB.recordHit()
+				return pte.PFN()<<PageShift | va&(PageSize-1), pte
+			}
+		}
 		pte, hit := cpu.TLB.Lookup(sp.ASID, vpn)
 		if hit && pte.Valid() && (!write || pte.Writable()) {
 			if write && pte&pagetable.PTEModified == 0 {
@@ -251,7 +280,14 @@ func (e *Exec) Translate(va uint32, write bool) (uint32, pagetable.PTE) {
 				sp.Table.SetRM(va, true)
 				cpu.TLB.Insert(sp.ASID, vpn, pte|pagetable.PTEModified)
 				e.Charge(CostMemHit + CostTLBFillPerLevel)
+				pte |= pagetable.PTEModified
 			}
+			e.mc.tlb = cpu.TLB
+			e.mc.gen = cpu.TLB.gen
+			e.mc.asid = sp.ASID
+			e.mc.vpn = vpn
+			e.mc.pte = pte
+			e.mc.ok = true
 			return pte.PFN()<<PageShift | va&(PageSize-1), pte
 		}
 		if hit {
@@ -294,9 +330,12 @@ func (e *Exec) Probe(va uint32, write bool) bool {
 }
 
 // SetSpace switches the context's translation root, charging the
-// hardware's root-pointer reload cost.
+// hardware's root-pointer reload cost. The translation micro-cache is
+// dropped: address-space identifiers may be reused by a later space, so
+// the cached tag cannot be trusted across a root switch.
 func (e *Exec) SetSpace(s *Space) {
 	e.Space = s
+	e.mc.ok = false
 	e.Charge(CostSpaceSwitch)
 }
 

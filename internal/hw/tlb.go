@@ -6,9 +6,20 @@ import "vpp/internal/pagetable"
 // cache (the 68040 ATC), tagged by address-space identifier so a space
 // switch needs no flush. Replacement is round-robin, which the real part
 // approximated with a pseudo-random pointer.
+//
+// The host-side implementation is a hash index keyed by (asid, vpn)
+// over the same entry array the hardware would search associatively:
+// replacement order, eviction victims and hit/miss statistics are
+// exactly those of the original linear scan, only the host cost of
+// finding an entry changes. The generation counter lets per-Exec
+// translation micro-caches (see Exec.Translate) validate themselves
+// cheaply: any mutation that could change the outcome of a lookup
+// bumps it.
 type TLB struct {
 	entries []tlbEntry
+	index   map[uint64]int32 // (asid, vpn) -> valid entry position
 	next    int
+	gen     uint64
 	hits    uint64
 	misses  uint64
 }
@@ -23,49 +34,67 @@ type tlbEntry struct {
 // DefaultTLBEntries matches the 68040 ATC.
 const DefaultTLBEntries = 64
 
+// tlbKey packs an (asid, vpn) pair into one index key.
+func tlbKey(asid uint16, vpn uint32) uint64 {
+	return uint64(asid)<<32 | uint64(vpn)
+}
+
 // NewTLB returns a TLB with n entries.
 func NewTLB(n int) *TLB {
 	if n <= 0 {
 		panic("hw: bad TLB size")
 	}
-	return &TLB{entries: make([]tlbEntry, n)}
+	return &TLB{
+		entries: make([]tlbEntry, n),
+		index:   make(map[uint64]int32, n),
+	}
 }
+
+// Gen reports the TLB's mutation generation. A cached lookup result is
+// only valid while the generation is unchanged.
+func (t *TLB) Gen() uint64 { return t.gen }
 
 // Lookup searches for (asid, vpn); ok reports a hit.
 func (t *TLB) Lookup(asid uint16, vpn uint32) (pagetable.PTE, bool) {
-	for i := range t.entries {
-		e := &t.entries[i]
-		if e.valid && e.asid == asid && e.vpn == vpn {
-			t.hits++
-			return e.pte, true
-		}
+	if i, ok := t.index[tlbKey(asid, vpn)]; ok {
+		t.hits++
+		return t.entries[i].pte, true
 	}
 	t.misses++
 	return 0, false
 }
 
+// recordHit accounts a model-level TLB hit that was answered by a
+// translation micro-cache without consulting the entry array.
+func (t *TLB) recordHit() { t.hits++ }
+
 // Insert fills an entry for (asid, vpn), evicting round-robin.
 func (t *TLB) Insert(asid uint16, vpn uint32, pte pagetable.PTE) {
+	key := tlbKey(asid, vpn)
 	// Overwrite an existing entry for the same page if present, so a
 	// permission upgrade takes effect immediately.
-	for i := range t.entries {
-		e := &t.entries[i]
-		if e.valid && e.asid == asid && e.vpn == vpn {
-			e.pte = pte
-			return
-		}
+	if i, ok := t.index[key]; ok {
+		t.entries[i].pte = pte
+		t.gen++
+		return
 	}
-	t.entries[t.next] = tlbEntry{asid: asid, valid: true, vpn: vpn, pte: pte}
+	victim := &t.entries[t.next]
+	if victim.valid {
+		delete(t.index, tlbKey(victim.asid, victim.vpn))
+		t.gen++
+	}
+	*victim = tlbEntry{asid: asid, valid: true, vpn: vpn, pte: pte}
+	t.index[key] = int32(t.next)
 	t.next = (t.next + 1) % len(t.entries)
 }
 
 // InvalidatePage drops the entry for (asid, vpn) if present.
 func (t *TLB) InvalidatePage(asid uint16, vpn uint32) {
-	for i := range t.entries {
-		e := &t.entries[i]
-		if e.valid && e.asid == asid && e.vpn == vpn {
-			e.valid = false
-		}
+	key := tlbKey(asid, vpn)
+	if i, ok := t.index[key]; ok {
+		t.entries[i].valid = false
+		delete(t.index, key)
+		t.gen++
 	}
 }
 
@@ -73,9 +102,13 @@ func (t *TLB) InvalidatePage(asid uint16, vpn uint32) {
 func (t *TLB) InvalidateSpace(asid uint16) {
 	for i := range t.entries {
 		if t.entries[i].asid == asid {
+			if t.entries[i].valid {
+				delete(t.index, tlbKey(asid, t.entries[i].vpn))
+			}
 			t.entries[i].valid = false
 		}
 	}
+	t.gen++
 }
 
 // InvalidateAll flushes the TLB.
@@ -83,6 +116,8 @@ func (t *TLB) InvalidateAll() {
 	for i := range t.entries {
 		t.entries[i].valid = false
 	}
+	clear(t.index)
+	t.gen++
 }
 
 // Stats reports accumulated hits and misses.

@@ -5,25 +5,39 @@ import (
 	"testing"
 )
 
-// BenchmarkEngineSchedulingDecision measures raw engine throughput: how
-// many coroutine scheduling decisions the host executes per second.
-func BenchmarkEngineSchedulingDecision(b *testing.B) {
+// benchEngineStep measures raw engine throughput with n concurrent
+// runnable coroutines: how many scheduling decisions the host executes
+// per second. The per-decision cost of the ready-structure dominates as
+// n grows.
+func benchEngineStep(b *testing.B, n int) {
+	b.Helper()
 	e := NewEngine()
-	clks := [4]*Clock{}
-	for i := range clks {
-		clks[i] = NewClock("c")
+	for i := 0; i < n; i++ {
+		clk := NewClock("c")
 		co := e.NewCoro("w", func(ctx *Ctx) {
 			for {
 				ctx.Advance(10)
 				ctx.Reschedule()
 			}
 		})
-		e.UnparkOn(co, clks[i])
+		e.UnparkOn(co, clk)
 	}
-	e.MaxSteps = uint64(b.N) + 16
+	e.MaxSteps = uint64(b.N) + uint64(n)*4
 	b.ResetTimer()
 	_ = e.Run(math.MaxUint64)
 }
+
+// BenchmarkEngineSchedulingDecision measures raw engine throughput: how
+// many coroutine scheduling decisions the host executes per second.
+func BenchmarkEngineSchedulingDecision(b *testing.B) { benchEngineStep(b, 4) }
+
+// BenchmarkEngineStep64 exercises the ready structure at one simulated
+// MPM's worth of active contexts.
+func BenchmarkEngineStep64(b *testing.B) { benchEngineStep(b, 64) }
+
+// BenchmarkEngineStep256 is the ISSUE 1 acceptance microbenchmark: a
+// large multiprogrammed machine's worth of runnable contexts.
+func BenchmarkEngineStep256(b *testing.B) { benchEngineStep(b, 256) }
 
 // BenchmarkEventHeap measures timer scheduling throughput.
 func BenchmarkEventHeap(b *testing.B) {

@@ -12,6 +12,16 @@
 // Time is measured in processor cycles. Clocks belong to simulated CPUs;
 // a coroutine advances whichever clock it is currently dispatched on, so a
 // thread migrating between CPUs naturally accumulates time on each.
+//
+// Host-side scheduling is O(log n) in the number of runnable coroutines:
+// the ready set is a min-heap keyed by (clock, id), finished coroutines
+// are dropped from the engine entirely, and a yielding coroutine whose
+// scheduling decision resumes another coroutine hands control to it
+// directly instead of round-tripping through the engine goroutine. All
+// of this changes only host data structures; the scheduling decisions
+// themselves — which coroutine runs at which virtual time — are
+// bit-identical to the original linear-scan engine (the determinism
+// golden in internal/exp pins this).
 package sim
 
 import (
@@ -89,16 +99,24 @@ type event struct {
 
 // Engine owns all coroutines, clocks and pending events of one simulation.
 type Engine struct {
-	coros   []*Coro
+	coros   []*Coro  // live (not finished) coroutines, creation order
+	runq    coroHeap // runnable coroutines keyed by (clock, id)
 	events  eventHeap
 	seq     uint64
 	yieldCh chan *Coro
 	current *Coro
 	now     uint64 // time of the most recently scheduled entity
+	until   uint64 // bound of the Run call in progress
 	steps   uint64
 	// MaxSteps bounds engine scheduling decisions as a runaway guard.
 	// Zero means no limit.
 	MaxSteps uint64
+
+	// TraceDispatch, when non-nil, is called with the coroutine name and
+	// virtual dispatch time on every scheduling decision that resumes a
+	// coroutine. It observes the schedule without perturbing it; the
+	// determinism regression harness hashes the resulting trace.
+	TraceDispatch func(name string, at uint64)
 }
 
 // NewEngine returns an empty engine.
@@ -109,6 +127,13 @@ func NewEngine() *Engine {
 // Now reports the virtual time of the most recently scheduled entity.
 // It is a global lower bound: no future activity occurs before it.
 func (e *Engine) Now() uint64 { return e.now }
+
+// Steps reports the number of scheduling decisions made so far.
+func (e *Engine) Steps() uint64 { return e.steps }
+
+// Live reports the number of coroutines the engine still tracks
+// (finished coroutines are removed).
+func (e *Engine) Live() int { return len(e.coros) }
 
 // NewCoro creates a parked coroutine that will execute fn when first
 // dispatched. The body must only interact with the engine through ctx.
@@ -142,6 +167,7 @@ func (e *Engine) UnparkOn(co *Coro, clock *Clock) {
 	}
 	co.clock = clock
 	co.runnable = true
+	e.runq.push(coroEntry{at: clock.now, co: co})
 	// A newly runnable coroutine may be more urgent than the currently
 	// executing one: shrink the current horizon so it yields at its next
 	// charge point.
@@ -179,13 +205,14 @@ const maxQuantum = 1 << 22
 // math.MaxUint64 for no bound). It returns ErrMaxSteps if the step guard
 // trips.
 func (e *Engine) Run(until uint64) error {
+	e.until = until
 	for {
 		if e.MaxSteps != 0 && e.steps >= e.MaxSteps {
 			return ErrMaxSteps
 		}
 		e.steps++
 
-		co, coTime := e.pickCoro(nil)
+		co, coTime := e.peekRunnable()
 		evTime := uint64(math.MaxUint64)
 		if len(e.events) > 0 {
 			evTime = e.events[0].at
@@ -205,68 +232,163 @@ func (e *Engine) Run(until uint64) error {
 			if coTime > until {
 				return nil
 			}
+			e.runq.pop()
+			horizon := e.horizonFor(coTime)
 			e.now = coTime
-			// The horizon is the time of the next-most-urgent
-			// entity; the coro may run without yielding until its
-			// clock passes it. It is also capped by the run bound
-			// and a maximum quantum so the engine periodically
-			// regains control from non-yielding loops.
-			_, horizon := e.pickCoro(co)
-			if evTime < horizon {
-				horizon = evTime
-			}
-			if until < horizon {
-				horizon = until
-			}
-			if q := coTime + maxQuantum; q < horizon {
-				horizon = q
+			if e.TraceDispatch != nil {
+				e.TraceDispatch(co.name, coTime)
 			}
 			e.resumeCoro(co, horizon)
 		}
 	}
 }
 
-// pickCoro returns the runnable coro with the smallest clock (excluding
-// skip), breaking ties by creation order, along with its clock time.
-func (e *Engine) pickCoro(skip *Coro) (*Coro, uint64) {
-	var best *Coro
-	bestTime := uint64(math.MaxUint64)
-	for _, co := range e.coros {
-		if co == skip || !co.runnable || co.done {
+// peekRunnable returns the runnable coroutine with the smallest
+// (clock, id) key without removing it, or (nil, MaxUint64) if none.
+// Stale heap keys — a queued coroutine whose clock moved because it
+// shares the clock with another — are repaired lazily here, so the
+// reported minimum is always computed over live clock values, exactly
+// as the original linear scan did.
+func (e *Engine) peekRunnable() (*Coro, uint64) {
+	for len(e.runq) > 0 {
+		ent := e.runq[0]
+		co := ent.co
+		if co.done || !co.runnable {
+			// Defensive: the engine never leaves such entries behind,
+			// but discarding keeps the heap an over-approximation.
+			e.runq.pop()
 			continue
 		}
-		t := co.clock.now
-		if t < bestTime || (t == bestTime && best != nil && co.id < best.id) {
-			best, bestTime = co, t
+		if now := co.clock.now; now != ent.at {
+			// Clocks only move forward; re-key at the live value.
+			e.runq.pop()
+			e.runq.push(coroEntry{at: now, co: co})
+			continue
 		}
+		return co, ent.at
 	}
-	return best, bestTime
+	return nil, math.MaxUint64
 }
 
-// resumeCoro transfers control to co until it yields back.
+// horizonFor computes how far a coroutine dispatched at coTime may run
+// before yielding: the time of the next-most-urgent entity, capped by
+// the run bound and a maximum quantum so the engine periodically
+// regains control from non-yielding loops. The dispatched coroutine
+// must already be popped from the run queue.
+func (e *Engine) horizonFor(coTime uint64) uint64 {
+	_, horizon := e.peekRunnable()
+	if len(e.events) > 0 && e.events[0].at < horizon {
+		horizon = e.events[0].at
+	}
+	if e.until < horizon {
+		horizon = e.until
+	}
+	if q := coTime + maxQuantum; q < horizon {
+		horizon = q
+	}
+	return horizon
+}
+
+// pickDirect evaluates the next scheduling decision from inside a
+// yielding coroutine. If that decision resumes a coroutine it performs
+// the dispatch bookkeeping (step count, queue pop, virtual time, trace)
+// and returns it with its horizon; for anything the engine goroutine
+// must handle — a due event, quiescence, the run bound, the step guard —
+// it mutates nothing and reports !ok so the yielder bounces control
+// back to Run, which re-evaluates identically.
+func (e *Engine) pickDirect() (next *Coro, horizon uint64, ok bool) {
+	if e.MaxSteps != 0 && e.steps >= e.MaxSteps {
+		return nil, 0, false
+	}
+	co, coTime := e.peekRunnable()
+	if co == nil || coTime > e.until {
+		return nil, 0, false
+	}
+	if len(e.events) > 0 && e.events[0].at <= coTime {
+		return nil, 0, false
+	}
+	e.steps++
+	e.runq.pop()
+	horizon = e.horizonFor(coTime)
+	e.now = coTime
+	if e.TraceDispatch != nil {
+		e.TraceDispatch(co.name, coTime)
+	}
+	return co, horizon, true
+}
+
+// resumeCoro transfers control to co until control bounces back to the
+// engine goroutine. With direct handoff, any number of coroutine-to-
+// coroutine switches may happen before that; exactly one goroutine is
+// ever active, so engine state needs no locking.
 func (e *Engine) resumeCoro(co *Coro, horizon uint64) {
 	e.current = co
 	if !co.started {
-		co.started = true
-		go func() {
-			h := <-co.resume
-			co.ctx.horizon = h
-			co.fn(co.ctx)
-			co.done = true
-			co.runnable = false
-			e.yieldCh <- co
-		}()
+		e.startCoro(co)
 	}
 	co.resume <- horizon
 	<-e.yieldCh
 	e.current = nil
 }
 
-// yield suspends the calling coroutine and returns control to the engine;
-// the coroutine resumes (with a fresh horizon) when next scheduled.
+// startCoro launches the coroutine's goroutine. When the body returns,
+// the coroutine is removed from the engine's tracked set entirely —
+// long-running simulations do not accumulate finished contexts — and
+// control bounces to the engine goroutine.
+func (e *Engine) startCoro(co *Coro) {
+	co.started = true
+	go func() {
+		h := <-co.resume
+		co.ctx.horizon = h
+		co.fn(co.ctx)
+		co.done = true
+		co.runnable = false
+		e.removeCoro(co)
+		e.yieldCh <- co
+	}()
+}
+
+// removeCoro drops a finished coroutine from the live set, preserving
+// creation order. Called from the finishing coroutine's goroutine while
+// every other goroutine is parked, so no synchronization is needed.
+func (e *Engine) removeCoro(co *Coro) {
+	for i, c := range e.coros {
+		if c == co {
+			copy(e.coros[i:], e.coros[i+1:])
+			e.coros[len(e.coros)-1] = nil
+			e.coros = e.coros[:len(e.coros)-1]
+			return
+		}
+	}
+}
+
+// yield suspends the calling coroutine and returns control to the
+// scheduler; the coroutine resumes (with a fresh horizon) when next
+// scheduled. If the next scheduling decision resumes a coroutine, the
+// yielder hands control to it directly — or simply keeps running when
+// that coroutine is itself — avoiding the round trip through the engine
+// goroutine. Decisions the engine must make (events, bounds, guards)
+// bounce back to Run.
 func (ctx *Ctx) yield() {
 	co := ctx.co
-	co.eng.yieldCh <- co
+	e := co.eng
+	if co.runnable {
+		e.runq.push(coroEntry{at: co.clock.now, co: co})
+	}
+	if next, horizon, ok := e.pickDirect(); ok {
+		e.current = next
+		if next == co {
+			ctx.horizon = horizon
+			return
+		}
+		if !next.started {
+			e.startCoro(next)
+		}
+		next.resume <- horizon
+		ctx.horizon = <-co.resume
+		return
+	}
+	e.yieldCh <- co
 	ctx.horizon = <-co.resume
 }
 
@@ -304,6 +426,65 @@ func (ctx *Ctx) Park() {
 // Reschedule forces a yield without charging time, letting equally urgent
 // entities interleave at a known point.
 func (ctx *Ctx) Reschedule() { ctx.yield() }
+
+// coroEntry is a run-queue element; at is the coroutine's clock value
+// when queued (repaired lazily if the clock moves while queued).
+type coroEntry struct {
+	at uint64
+	co *Coro
+}
+
+// coroHeap is a min-heap of runnable coroutines ordered by (at, id) —
+// the same "smallest clock, creation order breaks ties" rule the
+// original linear scan implemented.
+type coroHeap []coroEntry
+
+func coroLess(a, b coroEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.co.id < b.co.id
+}
+
+func (h *coroHeap) push(ent coroEntry) {
+	*h = append(*h, ent)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if coroLess((*h)[i], (*h)[p]) {
+			(*h)[i], (*h)[p] = (*h)[p], (*h)[i]
+			i = p
+		} else {
+			break
+		}
+	}
+}
+
+func (h *coroHeap) pop() coroEntry {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	old[n] = coroEntry{}
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && coroLess(old[l], old[m]) {
+			m = l
+		}
+		if r < n && coroLess(old[r], old[m]) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		old[i], old[m] = old[m], old[i]
+		i = m
+	}
+	return top
+}
 
 // eventHeap is a min-heap of events ordered by (at, seq).
 type eventHeap []*event
@@ -356,6 +537,8 @@ func less(a, b *event) bool {
 }
 
 // DebugState renders the engine's coroutine states for diagnostics.
+// Finished coroutines are removed from the engine, so only parked and
+// runnable ones appear.
 func DebugState(e *Engine) string {
 	s := ""
 	for _, co := range e.coros {
