@@ -1,0 +1,277 @@
+// Command ckvet runs the internal/lint analyzer suite: static checks
+// that the deterministic packages stay bit-deterministic and that
+// simulated work charges the internal/hw cost model (DESIGN.md §7).
+//
+// Two modes share the same analyzers:
+//
+// Standalone, over go list patterns (the default is ./...):
+//
+//	go run ./cmd/ckvet ./...
+//
+// As a go vet tool, speaking the vet unit-checker protocol (-V=full
+// handshake, then one vet.cfg JSON file per package):
+//
+//	go build -o bin/ckvet ./cmd/ckvet
+//	go vet -vettool=bin/ckvet ./...
+//
+// Both modes type-check from export data the go command has already
+// built, so ckvet needs no dependencies beyond the standard library.
+// Exit status is nonzero when any unsuppressed diagnostic is reported;
+// suppress individual findings with `//ckvet:allow <analyzer> <reason>`
+// on or above the flagged line.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"strings"
+
+	"vpp/internal/lint"
+	"vpp/internal/lint/analysis"
+)
+
+func main() {
+	args := os.Args[1:]
+
+	// Tool-identification handshake: the go command invokes
+	// `ckvet -V=full` once and uses the line as a cache key.
+	for _, a := range args {
+		if a == "-V=full" || a == "-V" {
+			fmt.Println("ckvet version 1")
+			return
+		}
+		// Flag-discovery handshake: the go command asks which flags the
+		// tool accepts (as JSON) before building the vet command line.
+		if a == "-flags" {
+			fmt.Println("[]")
+			return
+		}
+	}
+
+	// Unit-checker mode: the go command passes a single *.cfg file.
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runUnitchecker(args[0]))
+	}
+
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	os.Exit(runStandalone(patterns))
+}
+
+// ---------------------------------------------------------------------
+// go vet -vettool unit-checker protocol.
+
+// vetConfig mirrors the JSON written by cmd/go for each vetted package
+// (cmd/go/internal/work.vetConfig).
+type vetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	Standard    map[string]bool
+	PackageVetx map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+	GoVersion   string
+
+	SucceedOnTypecheckFailure bool
+}
+
+func runUnitchecker(cfgFile string) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ckvet: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "ckvet: parsing %s: %v\n", cfgFile, err)
+		return 1
+	}
+
+	// ckvet carries no cross-package facts, but the go command expects
+	// the facts file to exist for caching.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "ckvet: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+
+	diags, err := checkPackage(cfg.ImportPath, cfg.GoFiles, cfg.Compiler, cfg.GoVersion, lookup)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "ckvet: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	if len(diags) > 0 {
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+		}
+		return 2
+	}
+	return 0
+}
+
+// ---------------------------------------------------------------------
+// Standalone mode: load packages via `go list -deps -export`.
+
+// listPackage is the subset of `go list -json` output ckvet needs.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	ImportMap  map[string]string
+}
+
+func runStandalone(patterns []string) int {
+	cmd := exec.Command("go", append([]string{"list", "-deps", "-export", "-json=ImportPath,Dir,GoFiles,Export,Standard,DepOnly,ImportMap", "--"}, patterns...)...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ckvet: go list: %v\n", err)
+		return 1
+	}
+
+	exportFile := map[string]string{}
+	var targets []*listPackage
+	dec := json.NewDecoder(strings.NewReader(string(out)))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			fmt.Fprintf(os.Stderr, "ckvet: parsing go list output: %v\n", err)
+			return 1
+		}
+		if p.Export != "" {
+			exportFile[p.ImportPath] = p.Export
+		}
+		if !p.Standard && !p.DepOnly {
+			pkg := p
+			targets = append(targets, &pkg)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	exitCode := 0
+	for _, p := range targets {
+		lookup := func(path string) (io.ReadCloser, error) {
+			if mapped, ok := p.ImportMap[path]; ok {
+				path = mapped
+			}
+			file, ok := exportFile[path]
+			if !ok {
+				return nil, fmt.Errorf("no export data for %q", path)
+			}
+			return os.Open(file)
+		}
+		var files []string
+		for _, f := range p.GoFiles {
+			files = append(files, joinPath(p.Dir, f))
+		}
+		diags, err := checkPackage(p.ImportPath, files, "gc", "", lookup)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ckvet: %s: %v\n", p.ImportPath, err)
+			exitCode = 1
+			continue
+		}
+		for _, d := range diags {
+			fmt.Println(d)
+			exitCode = 1
+		}
+	}
+	return exitCode
+}
+
+func joinPath(dir, file string) string {
+	if strings.HasPrefix(file, "/") {
+		return file
+	}
+	return dir + string(os.PathSeparator) + file
+}
+
+// ---------------------------------------------------------------------
+// Shared: parse, type-check, analyze one package.
+
+func checkPackage(importPath string, goFiles []string, compiler, goVersion string, lookup importer.Lookup) ([]string, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	if compiler == "" {
+		compiler = "gc"
+	}
+	arch := os.Getenv("GOARCH")
+	if arch == "" {
+		arch = runtime.GOARCH
+	}
+	conf := types.Config{
+		Importer:  importer.ForCompiler(fset, compiler, lookup),
+		GoVersion: goVersion,
+		Sizes:     types.SizesFor(compiler, arch),
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	pkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+
+	diags, err := analysis.RunAnalyzers(lint.All, fset, files, pkg, info)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, d := range diags {
+		out = append(out, fmt.Sprintf("%s: %s (ckvet/%s)", fset.Position(d.Pos), d.Message, d.Analyzer))
+	}
+	return out, nil
+}

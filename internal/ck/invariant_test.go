@@ -5,118 +5,17 @@ import (
 	"testing"
 
 	"vpp/internal/hw"
-	"vpp/internal/pagetable"
 	"vpp/internal/sim"
 )
 
 // checkInvariants verifies the structural invariants the dependency
-// model (Figure 6) promises, over the whole Cache Kernel state.
+// model (Figure 6) promises, over the whole Cache Kernel state. The
+// checks themselves live in CheckInvariants (invariants.go) so that
+// ckinvariants-tagged builds run them on every call exit.
 func checkInvariants(t *testing.T, k *Kernel) {
 	t.Helper()
-	fail := func(format string, args ...any) {
-		t.Helper()
-		t.Fatalf("invariant: "+format, args...)
-	}
-
-	// Threads reference loaded spaces; containment maps agree.
-	k.threads.forEach(func(idx int32, to *ThreadObj) bool {
-		if to.space == nil {
-			fail("thread %v has nil space", to.id)
-		}
-		if got, ok := k.spaces.get(to.space.slot, to.space.id.gen()); !ok || got != to.space {
-			fail("thread %v references unloaded space %v", to.id, to.space.id)
-		}
-		if to.space.threads[to.slot] != to {
-			fail("space %v does not contain its thread %v", to.space.id, to.id)
-		}
-		if to.owner.threads[to.slot] != to {
-			fail("kernel %q does not own its thread %v", to.owner.attrs.Name, to.id)
-		}
-		return true
-	})
-
-	// Spaces: containment and page-table/pmap agreement.
-	totalPV := 0
-	k.spaces.forEach(func(idx int32, so *SpaceObj) bool {
-		if _, ok := k.kernels.get(so.owner.slot, so.owner.id.gen()); !ok {
-			fail("space %v owned by unloaded kernel", so.id)
-		}
-		n := 0
-		so.hw.Table.Walk(func(va uint32, pte pagetable.PTE) bool {
-			n++
-			// Each PTE must have exactly one physical-to-virtual record.
-			found := 0
-			k.pm.findEach(depPhysVirt, pte.PFN(), func(_ int32, r *depRecord) bool {
-				if r.dep == va && r.owner() == so.slot {
-					found++
-				}
-				return true
-			})
-			if found != 1 {
-				fail("mapping (%v, %#x) has %d dependency records", so.id, va, found)
-			}
-			return true
-		})
-		if n != so.mappings {
-			fail("space %v mapping count %d != table pages %d", so.id, so.mappings, n)
-		}
-		totalPV += n
-		return true
-	})
-
-	// Every live pmap record is consistent; totals match.
-	live := 0
-	for i := range k.pm.recs {
-		r := &k.pm.recs[i]
-		switch r.kind() {
-		case depFree:
-			continue
-		case depPhysVirt:
-			live++
-			so := k.spaces.at(r.owner())
-			pte, ok := so.hw.Table.Lookup(r.dep)
-			if !ok || pte.PFN() != r.key {
-				fail("pv record %d (va %#x) disagrees with page table", i, r.dep)
-			}
-		case depSignal:
-			live++
-			pv := k.pm.rec(int32(r.key))
-			if pv.kind() != depPhysVirt {
-				fail("signal record %d references non-pv record %d", i, r.key)
-			}
-			to := k.threads.at(int32(r.dep))
-			if _, tracked := to.sigRecords[int32(i)]; !tracked {
-				fail("signal record %d not tracked by its thread", i)
-			}
-		case depCopyOnWrite:
-			live++
-			if k.pm.rec(int32(r.key)).kind() != depPhysVirt {
-				fail("cow record %d references non-pv record", i)
-			}
-		}
-	}
-	if live != k.pm.Live() {
-		fail("pmap live count %d != scanned %d", k.pm.Live(), live)
-	}
-	if free := len(k.pm.free); free+live != k.pm.Capacity() {
-		fail("pmap free %d + live %d != capacity %d", free, live, k.pm.Capacity())
-	}
-
-	// Ready queues hold only loaded, ready, unique threads.
-	seen := map[*ThreadObj]bool{}
-	for p := range k.sched.ready {
-		for _, to := range k.sched.ready[p] {
-			if seen[to] {
-				fail("thread %v queued twice", to.id)
-			}
-			seen[to] = true
-			if to.state != threadReady {
-				fail("queued thread %v in state %d", to.id, to.state)
-			}
-			if got, ok := k.threads.get(to.slot, to.id.gen()); !ok || got != to {
-				fail("queued thread %v is unloaded", to.id)
-			}
-		}
+	if err := k.CheckInvariants(); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -1,0 +1,142 @@
+package ck
+
+import (
+	"fmt"
+
+	"vpp/internal/pagetable"
+)
+
+// CheckInvariants verifies the structural invariants the dependency
+// model (Figure 6) promises, over the whole Cache Kernel state: loaded
+// threads reference loaded spaces and appear in their containment maps,
+// page tables and the physical memory map agree record-for-record,
+// dependency records reference live targets, and the ready queues hold
+// only loaded, ready, unique threads.
+//
+// It returns the first violation found, or nil. The invariant fuzz test
+// calls it after every operation; builds tagged ckinvariants
+// (`go build -tags ckinvariants ./cmd/ckos`) additionally run it on
+// every Cache Kernel call exit, turning any workload — ckos boots,
+// ckbench runs — into an invariant checker at the cost of simulation
+// speed (virtual time is unaffected: checking charges no cycles).
+func (k *Kernel) CheckInvariants() error {
+	var err error
+	fail := func(format string, args ...any) {
+		if err == nil {
+			err = fmt.Errorf("invariant: "+format, args...)
+		}
+	}
+
+	// Threads reference loaded spaces; containment maps agree.
+	k.threads.forEach(func(idx int32, to *ThreadObj) bool {
+		if to.space == nil {
+			fail("thread %v has nil space", to.id)
+			return false
+		}
+		if got, ok := k.spaces.get(to.space.slot, to.space.id.gen()); !ok || got != to.space {
+			fail("thread %v references unloaded space %v", to.id, to.space.id)
+		}
+		if to.space.threads[to.slot] != to {
+			fail("space %v does not contain its thread %v", to.space.id, to.id)
+		}
+		if to.owner.threads[to.slot] != to {
+			fail("kernel %q does not own its thread %v", to.owner.attrs.Name, to.id)
+		}
+		return err == nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// Spaces: containment and page-table/pmap agreement.
+	k.spaces.forEach(func(idx int32, so *SpaceObj) bool {
+		if _, ok := k.kernels.get(so.owner.slot, so.owner.id.gen()); !ok {
+			fail("space %v owned by unloaded kernel", so.id)
+		}
+		n := 0
+		so.hw.Table.Walk(func(va uint32, pte pagetable.PTE) bool {
+			n++
+			// Each PTE must have exactly one physical-to-virtual record.
+			found := 0
+			k.pm.findEach(depPhysVirt, pte.PFN(), func(_ int32, r *depRecord) bool {
+				if r.dep == va && r.owner() == so.slot {
+					found++
+				}
+				return true
+			})
+			if found != 1 {
+				fail("mapping (%v, %#x) has %d dependency records", so.id, va, found)
+			}
+			return err == nil
+		})
+		if n != so.mappings {
+			fail("space %v mapping count %d != table pages %d", so.id, so.mappings, n)
+		}
+		return err == nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// Every live pmap record is consistent; totals match.
+	live := 0
+	for i := range k.pm.recs {
+		r := &k.pm.recs[i]
+		switch r.kind() {
+		case depFree:
+			continue
+		case depPhysVirt:
+			live++
+			so := k.spaces.at(r.owner())
+			if so == nil {
+				return fmt.Errorf("invariant: pv record %d owned by empty space slot %d", i, r.owner())
+			}
+			pte, ok := so.hw.Table.Lookup(r.dep)
+			if !ok || pte.PFN() != r.key {
+				return fmt.Errorf("invariant: pv record %d (va %#x) disagrees with page table", i, r.dep)
+			}
+		case depSignal:
+			live++
+			pv := k.pm.rec(int32(r.key))
+			if pv.kind() != depPhysVirt {
+				return fmt.Errorf("invariant: signal record %d references non-pv record %d", i, r.key)
+			}
+			to := k.threads.at(int32(r.dep))
+			if to == nil {
+				return fmt.Errorf("invariant: signal record %d names empty thread slot %d", i, r.dep)
+			}
+			if _, tracked := to.sigRecords[int32(i)]; !tracked {
+				return fmt.Errorf("invariant: signal record %d not tracked by its thread", i)
+			}
+		case depCopyOnWrite:
+			live++
+			if k.pm.rec(int32(r.key)).kind() != depPhysVirt {
+				return fmt.Errorf("invariant: cow record %d references non-pv record", i)
+			}
+		}
+	}
+	if live != k.pm.Live() {
+		return fmt.Errorf("invariant: pmap live count %d != scanned %d", k.pm.Live(), live)
+	}
+	if free := len(k.pm.free); free+live != k.pm.Capacity() {
+		return fmt.Errorf("invariant: pmap free %d + live %d != capacity %d", free, live, k.pm.Capacity())
+	}
+
+	// Ready queues hold only loaded, ready, unique threads.
+	seen := map[*ThreadObj]bool{}
+	for p := range k.sched.ready {
+		for _, to := range k.sched.ready[p] {
+			if seen[to] {
+				return fmt.Errorf("invariant: thread %v queued twice", to.id)
+			}
+			seen[to] = true
+			if to.state != threadReady {
+				return fmt.Errorf("invariant: queued thread %v in state %d", to.id, to.state)
+			}
+			if got, ok := k.threads.get(to.slot, to.id.gen()); !ok || got != to {
+				return fmt.Errorf("invariant: queued thread %v is unloaded", to.id)
+			}
+		}
+	}
+	return err
+}

@@ -1,0 +1,7 @@
+//go:build !ckinvariants
+
+package ck
+
+// invariantsEnabled is off in normal builds; the checks run only in
+// the invariant fuzz test. Build with -tags ckinvariants to enable.
+const invariantsEnabled = false

@@ -1,0 +1,7 @@
+//go:build ckinvariants
+
+package ck
+
+// invariantsEnabled turns on full-state invariant checking at every
+// Cache Kernel call exit. Build with -tags ckinvariants to enable.
+const invariantsEnabled = true

@@ -110,7 +110,14 @@ func (k *Kernel) enter(e *hw.Exec) hw.Mode {
 }
 
 // exit charges the return from the Cache Kernel and restores mode.
+// Every Cache Kernel operation funnels through here, so builds tagged
+// ckinvariants verify the full dependency-model state on each return.
 func (k *Kernel) exit(e *hw.Exec, prev hw.Mode) {
+	if invariantsEnabled {
+		if err := k.CheckInvariants(); err != nil {
+			panic("ckinvariants: " + err.Error())
+		}
+	}
 	e.Mode = prev
 	e.Charge(hw.CostTrapExit)
 }
@@ -299,6 +306,8 @@ func (k *Kernel) TimerTick(c *hw.CPU) {
 
 // Exited handles an execution whose body returned: its thread descriptor
 // is released and the CPU rescheduled.
+//
+//ckvet:allow chargepath the exiting context is gone; reclaim charges on the reclaim path and dispatchNext charges the next thread
 func (k *Kernel) Exited(e *hw.Exec) {
 	cpu := e.CPU
 	if th := k.threadOf(e); th != nil {

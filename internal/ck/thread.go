@@ -159,6 +159,7 @@ func (k *Kernel) reclaimThread(e *hw.Exec, to *ThreadObj, writeback, dying bool)
 	// multi-mapping consistency on its message page.
 	for len(to.sigRecords) > 0 {
 		var sigIdx int32 = -1
+		//ckvet:allow detmap min-reduction over the keys is iteration-order independent
 		for idx := range to.sigRecords {
 			if sigIdx < 0 || idx < sigIdx {
 				sigIdx = idx

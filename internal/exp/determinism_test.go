@@ -21,11 +21,28 @@ var updateGolden = flag.Bool("update", false, "rewrite golden files")
 // linear-scan scheduler. Any host-side data-structure change that
 // perturbs virtual time or scheduling order fails this test.
 func TestScheduleTraceGolden(t *testing.T) {
-	first, err := runDeterminismWorkload()
+	checkScheduleGolden(t, "schedule_trace.golden", RunDeterminismWorkload)
+}
+
+// TestBootEchoTraceGolden pins a second, differently shaped schedule:
+// a single-MPM boot followed by a two-thread memory-based-messaging
+// echo. The mixed workload stresses faults and eviction; this one
+// stresses the boot sequence and the signal-delivery fast path
+// (WaitSignal queue drain, reverse-TLB delivery, SignalReturn), so a
+// regression confined to either path fails at least one golden.
+func TestBootEchoTraceGolden(t *testing.T) {
+	checkScheduleGolden(t, "boot_echo_trace.golden", RunBootEchoWorkload)
+}
+
+// checkScheduleGolden runs the workload twice, asserts the runs are
+// identical, and compares their fingerprint against the golden file.
+func checkScheduleGolden(t *testing.T, name string, workload func(func(string, uint64)) (uint64, uint64, error)) {
+	t.Helper()
+	first, err := scheduleFingerprint(workload)
 	if err != nil {
 		t.Fatal(err)
 	}
-	second, err := runDeterminismWorkload()
+	second, err := scheduleFingerprint(workload)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +50,7 @@ func TestScheduleTraceGolden(t *testing.T) {
 		t.Fatalf("back-to-back runs diverge:\n%s\nvs\n%s", first, second)
 	}
 
-	golden := filepath.Join("testdata", "schedule_trace.golden")
+	golden := filepath.Join("testdata", name)
 	if *updateGolden {
 		if err := os.MkdirAll("testdata", 0o755); err != nil {
 			t.Fatal(err)
@@ -51,9 +68,10 @@ func TestScheduleTraceGolden(t *testing.T) {
 	}
 }
 
-// runDeterminismWorkload executes the mixed two-MPM workload and
-// renders its schedule fingerprint.
-func runDeterminismWorkload() (string, error) {
+// scheduleFingerprint executes a workload and renders its schedule
+// fingerprint: the FNV-1a hash over every (coroutine-name,
+// dispatch-time) pair plus the dispatch, step and final-clock counts.
+func scheduleFingerprint(workload func(func(string, uint64)) (uint64, uint64, error)) (string, error) {
 	h := fnv.New64a()
 	var dispatches uint64
 	trace := func(name string, at uint64) {
@@ -65,7 +83,7 @@ func runDeterminismWorkload() (string, error) {
 		h.Write([]byte(name))
 		h.Write(buf[:])
 	}
-	cycles, steps, err := RunDeterminismWorkload(trace)
+	cycles, steps, err := workload(trace)
 	if err != nil {
 		return "", err
 	}

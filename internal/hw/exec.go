@@ -167,6 +167,8 @@ func (e *Exec) pollInterrupts() {
 func (e *Exec) Instr(n int) { e.Charge(uint64(n) * CostInstr) }
 
 // Park suspends the context (releasing its CPU) until redispatched.
+//
+//ckvet:allow chargepath parking is free at the hardware layer; the supervisor charges CostContextSave/CostSchedule around it
 func (e *Exec) Park() {
 	if c := e.CPU; c != nil && c.Cur == e {
 		c.Cur = nil

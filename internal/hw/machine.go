@@ -142,6 +142,8 @@ func (c *CPU) ArmTimerAt(t uint64) {
 
 // Dispatch places e on the CPU and makes it runnable. The CPU must be
 // free (supervisor scheduling invariant).
+//
+//ckvet:allow chargepath raw dispatch bookkeeping; the supervisor's scheduler charges CostSchedule and context-restore costs
 func (c *CPU) Dispatch(e *Exec) {
 	if c.Cur != nil {
 		panic(fmt.Sprintf("hw: dispatch %q onto busy cpu %d (running %q)", e.Name, c.ID, c.Cur.Name))

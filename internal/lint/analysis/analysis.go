@@ -1,0 +1,182 @@
+// Package analysis is a minimal, dependency-free re-implementation of
+// the golang.org/x/tools/go/analysis vocabulary: an Analyzer inspects
+// one type-checked package and reports Diagnostics through a Pass.
+//
+// The repository vendors no third-party modules, so the real
+// go/analysis framework (and its unitchecker and analysistest halves)
+// is not available; cmd/ckvet provides the driver side — including the
+// `go vet -vettool` unit-checker protocol — on top of this package. The
+// API mirrors go/analysis closely enough that the analyzers in
+// internal/lint could be ported to the real framework by swapping
+// imports if x/tools is ever vendored.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //ckvet:allow suppression comments.
+	Name string
+
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Pass presents one type-checked package to an Analyzer and collects
+// its diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// IsTestFile reports whether the file containing pos is an _test.go
+// file. Analyzers skip test files: tests run host-side.
+func (p *Pass) IsTestFile(f *ast.File) bool {
+	return strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// allowDirective is one parsed //ckvet:allow comment.
+type allowDirective struct {
+	line     int
+	analyzer string
+	reason   string
+	pos      token.Pos
+}
+
+const allowPrefix = "//ckvet:allow"
+
+// parseAllows extracts //ckvet:allow directives from a file. Malformed
+// directives (no analyzer name, or no reason) are reported as
+// diagnostics of the pseudo-analyzer "ckvet" so they cannot silently
+// fail to suppress.
+func parseAllows(fset *token.FileSet, f *ast.File) (byLine map[int][]allowDirective, malformed []Diagnostic) {
+	byLine = make(map[int][]allowDirective)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, allowPrefix) {
+				continue
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(c.Text, allowPrefix))
+			fields := strings.Fields(rest)
+			line := fset.Position(c.Pos()).Line
+			if len(fields) == 0 {
+				malformed = append(malformed, Diagnostic{
+					Pos: c.Pos(), Analyzer: "ckvet",
+					Message: "malformed //ckvet:allow: missing analyzer name",
+				})
+				continue
+			}
+			if len(fields) == 1 {
+				malformed = append(malformed, Diagnostic{
+					Pos: c.Pos(), Analyzer: "ckvet",
+					Message: fmt.Sprintf("//ckvet:allow %s: missing reason (write //ckvet:allow %s <why this is safe>)", fields[0], fields[0]),
+				})
+				continue
+			}
+			byLine[line] = append(byLine[line], allowDirective{
+				line:     line,
+				analyzer: fields[0],
+				reason:   strings.Join(fields[1:], " "),
+				pos:      c.Pos(),
+			})
+		}
+	}
+	return byLine, malformed
+}
+
+// RunAnalyzers applies each analyzer to the package and returns the
+// surviving diagnostics: findings carrying a //ckvet:allow directive
+// for that analyzer on the same line or the line above are suppressed.
+// Malformed directives are themselves diagnostics.
+func RunAnalyzers(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	var out []Diagnostic
+
+	// Suppression index over every file of the package.
+	allows := make(map[string]map[int][]allowDirective)
+	for _, f := range files {
+		name := fset.Position(f.Pos()).Filename
+		byLine, malformed := parseAllows(fset, f)
+		allows[name] = byLine
+		out = append(out, malformed...)
+	}
+
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %v", a.Name, err)
+		}
+		for _, d := range pass.diags {
+			p := fset.Position(d.Pos)
+			if allowed(allows[p.Filename], p.Line, a.Name) {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := fset.Position(out[i].Pos), fset.Position(out[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return out[i].Message < out[j].Message
+	})
+	return out, nil
+}
+
+// allowed reports whether a directive for analyzer covers line (same
+// line or the line immediately above, matching //nolint convention).
+func allowed(byLine map[int][]allowDirective, line int, analyzer string) bool {
+	for _, l := range [2]int{line, line - 1} {
+		for _, d := range byLine[l] {
+			if d.analyzer == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,194 @@
+// Package analysistest runs a ckvet analyzer over a fixture source tree
+// and checks its diagnostics against // want "regexp" comments, in the
+// style of golang.org/x/tools/go/analysis/analysistest but implemented
+// on the standard library only.
+//
+// A fixture tree looks like
+//
+//	testdata/<name>/src/<import/path>/*.go
+//
+// and every import inside it — including stubs of standard packages
+// like "time" — is resolved from the same tree by type-checking the
+// stub source. Because the files live under a testdata directory the
+// go tool never builds them; only this harness does.
+//
+// A want comment names the diagnostics expected on its own line:
+//
+//	for k := range m { // want `range over map\[int\]int`
+//
+// Several quoted regexps on one line mean several diagnostics on that
+// line. Diagnostics with no matching want, and wants with no matching
+// diagnostic, fail the test.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"vpp/internal/lint/analysis"
+)
+
+// wantRE matches one quoted expectation inside a want comment. Both
+// `...` and "..." quoting are accepted so fixtures can write regexps
+// containing either quote character.
+var wantRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// Run type-checks the package at import path pkgPath inside the fixture
+// tree rooted at dir (which contains a src/ directory), runs the
+// analyzer over it, and compares diagnostics against want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPath string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	imp := &treeImporter{
+		root: filepath.Join(dir, "src"),
+		fset: fset,
+		pkgs: make(map[string]*types.Package),
+	}
+	files, pkg, info, err := imp.load(pkgPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgPath, err)
+	}
+	diags, err := analysis.RunAnalyzers([]*analysis.Analyzer{a}, fset, files, pkg, info)
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	checkWants(t, fset, files, diags)
+}
+
+// expectation is one parsed want regexp and whether a diagnostic
+// matched it.
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// checkWants compares diagnostics against the want comments in files.
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	// key: "file:line" → expectations on that line.
+	wants := make(map[string][]*expectation)
+	var keys []string
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				i := strings.Index(text, "// want ")
+				if i < 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+				for _, q := range wantRE.FindAllString(text[i+len("// want "):], -1) {
+					pat := q[1 : len(q)-1]
+					if q[0] == '"' {
+						pat = strings.ReplaceAll(pat, `\"`, `"`)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", key, pat, err)
+					}
+					wants[key] = append(wants[key], &expectation{re: re})
+					keys = append(keys, key)
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic (%s): %s", key, d.Analyzer, d.Message)
+		}
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		for _, w := range wants[key] {
+			if !w.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", key, w.re)
+			}
+		}
+		delete(wants, key)
+	}
+}
+
+// treeImporter loads packages from a fixture source tree, type-checking
+// stub source for every import path it is asked for.
+type treeImporter struct {
+	root string
+	fset *token.FileSet
+	pkgs map[string]*types.Package
+}
+
+// Import implements types.Importer.
+func (ti *treeImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := ti.pkgs[path]; ok {
+		return pkg, nil
+	}
+	_, pkg, _, err := ti.load(path)
+	return pkg, err
+}
+
+// load parses and type-checks the fixture package at the given import
+// path, returning its syntax, package and type info.
+func (ti *treeImporter) load(path string) ([]*ast.File, *types.Package, *types.Info, error) {
+	dir := filepath.Join(ti.root, filepath.FromSlash(path))
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		// Fall back to the real package for stdlib deps the fixture
+		// does not stub (fixtures should stub what the analyzer under
+		// test inspects, but may lean on the host for the rest).
+		if pkg, impErr := importer.Default().Import(path); impErr == nil {
+			ti.pkgs[path] = pkg
+			return nil, pkg, nil, nil
+		}
+		return nil, nil, nil, fmt.Errorf("fixture package %s: %w", path, err)
+	}
+	var files []*ast.File
+	for _, ent := range ents {
+		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ti.fset, filepath.Join(dir, ent.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil, nil, fmt.Errorf("fixture package %s: no Go files in %s", path, dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: ti}
+	pkg, err := conf.Check(path, ti.fset, files, info)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("type-checking fixture %s: %w", path, err)
+	}
+	ti.pkgs[path] = pkg
+	return files, pkg, info, nil
+}

@@ -1,0 +1,548 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"vpp/internal/lint/analysis"
+)
+
+// Chargepath enforces the cost-model invariant in the charged packages
+// (internal/hw and internal/ck): an exported operation that is handed
+// an execution context (an *hw.Exec receiver or parameter) and mutates
+// simulated state — descriptors, queues, MMU and TLB structures,
+// statistics — must charge virtual time on every non-crashing path,
+// by reaching Exec.Charge, Exec.ChargeNoIntr, Exec.Instr (or the
+// sim.Ctx.Advance primitive beneath them), directly or through another
+// function in the same package. It also flags unexported cost-model
+// constants (cost*/Cost*) that are never referenced: a cost that is
+// never charged means some simulated work is free and the Table 2
+// numbers no longer emerge from real work.
+//
+// The path analysis is structural: a function passes if a charging
+// call dominates every fall-off-the-end or return exit; branches must
+// all charge for the branch point to count, loops are assumed to run
+// zero times, and paths ending in panic are crash paths that need no
+// charge. Operations whose cost is deliberately charged elsewhere
+// (e.g. dispatch bookkeeping charged by the scheduler) carry a
+// //ckvet:allow chargepath annotation naming where the cycles come
+// from.
+var Chargepath = &analysis.Analyzer{
+	Name: "chargepath",
+	Doc: "exported hw/ck operations given an *hw.Exec that mutate simulated " +
+		"state must charge the cost model on every path; cost constants must be charged",
+	Run: runChargepath,
+}
+
+// chargePrimitives are the method names that advance virtual time,
+// checked against their receiver type.
+var chargePrimitives = map[string]func(types.Type) bool{
+	"Charge":       isExecType,
+	"ChargeNoIntr": isExecType,
+	"Instr":        isExecType,
+	"Advance":      isCtxType,
+}
+
+// knownCharging lists exported hw.Exec methods that chargepath has
+// verified charge on every path when analyzing package hw; ck calls
+// them without seeing their bodies (analysis is per-package, like the
+// vet unit checker).
+var knownCharging = map[string]bool{
+	"Load32": true, "Store32": true, "Load8": true, "Store8": true,
+	"Touch": true, "Translate": true, "Trap": true, "SetSpace": true,
+	"PhysRead32": true, "PhysWrite32": true,
+}
+
+type chargeFuncInfo struct {
+	decl    *ast.FuncDecl
+	charges bool
+	callees []*types.Func
+}
+
+func runChargepath(pass *analysis.Pass) error {
+	if !ChargedPackages[pass.Pkg.Path()] {
+		return nil
+	}
+
+	// Pass 1: collect every function with a body, whether it contains
+	// a direct charging call, and its same-package callees.
+	funcs := map[*types.Func]*chargeFuncInfo{}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fi := &chargeFuncInfo{decl: fd}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if directChargingCall(pass, call) {
+					fi.charges = true
+					return true
+				}
+				if callee := calleeFunc(pass, call); callee != nil && callee.Pkg() == pass.Pkg {
+					fi.callees = append(fi.callees, callee)
+				}
+				return true
+			})
+			funcs[obj] = fi
+		}
+	}
+
+	// Pass 2: propagate "charges" through same-package calls to a
+	// fixed point.
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range funcs {
+			if fi.charges {
+				continue
+			}
+			for _, callee := range fi.callees {
+				if cfi := funcs[callee]; cfi != nil && cfi.charges {
+					fi.charges = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	chargingCall := func(call *ast.CallExpr) bool {
+		if directChargingCall(pass, call) {
+			return true
+		}
+		callee := calleeFunc(pass, call)
+		if callee == nil {
+			return false
+		}
+		if fi := funcs[callee]; fi != nil && fi.charges {
+			return true
+		}
+		// Cross-package: exported hw.Exec operations verified when
+		// analyzing hw itself.
+		if callee.Pkg() != nil && callee.Pkg().Path() == "vpp/internal/hw" &&
+			knownCharging[callee.Name()] {
+			sig, ok := callee.Type().(*types.Signature)
+			return ok && sig.Recv() != nil && isExecType(sig.Recv().Type())
+		}
+		return false
+	}
+
+	// Pass 3: every exported function handed an Exec that mutates
+	// simulated state must charge on every path.
+	for obj, fi := range funcs {
+		if !obj.Exported() || !hasExecAccess(obj) {
+			continue
+		}
+		mutPos, mutWhat := firstMutation(pass, fi.decl)
+		if mutPos == token.NoPos {
+			continue
+		}
+		if !blockMustCharge(fi.decl.Body.List, chargingCall) {
+			pass.Reportf(fi.decl.Name.Pos(),
+				"%s mutates simulated state (%s) but does not charge the cost model on every path; add Exec.Charge/ChargeNoIntr/Instr or annotate //ckvet:allow chargepath <where the cycles are charged>",
+				obj.Name(), mutWhat)
+		}
+	}
+
+	reportUnchargedCosts(pass)
+	return nil
+}
+
+// hasExecAccess reports whether fn receives an execution context: an
+// Exec receiver or an Exec parameter. Functions without one cannot
+// charge by construction; their contract is "the caller charges".
+func hasExecAccess(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	if recv := sig.Recv(); recv != nil && isExecType(recv.Type()) {
+		return true
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isExecType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// directChargingCall reports whether call is a charging primitive.
+func directChargingCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	recvCheck, ok := chargePrimitives[sel.Sel.Name]
+	if !ok {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	return ok && recvCheck(tv.Type)
+}
+
+// calleeFunc resolves the static callee of a call, or nil for builtins,
+// function values and interface methods.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+// firstMutation finds a statement in fd's body (function literals
+// excluded: a closure mutates when called, not when built) that writes
+// simulated state through a reference: assignment or ++/-- through a
+// selector or index rooted at the receiver, a parameter, a
+// package-level variable or a local pointer; delete() on such a map;
+// or append assigned to such a field. Returns its position and a
+// description.
+func firstMutation(pass *analysis.Pass, fd *ast.FuncDecl) (token.Pos, string) {
+	var pos token.Pos
+	var what string
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if pos != token.NoPos {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if d := mutationDesc(pass, lhs); d != "" {
+					pos, what = n.Pos(), d
+					return false
+				}
+			}
+		case *ast.IncDecStmt:
+			if d := mutationDesc(pass, n.X); d != "" {
+				pos, what = n.Pos(), d
+				return false
+			}
+		case *ast.ExprStmt:
+			call, ok := n.X.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "delete" {
+				if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+					if d := mutationDesc(pass, call.Args[0]); d != "" {
+						pos, what = n.Pos(), "delete from "+d
+						return false
+					}
+				}
+			}
+		}
+		return true
+	})
+	return pos, what
+}
+
+// mutationDesc reports whether writing through expr mutates state
+// shared beyond the function: the expression must be a selector/index
+// path and its root must not be a plain local value. Writes through
+// local pointers count — `ko := k.alloc(); ko.owner = x` mutates the
+// descriptor cache.
+func mutationDesc(pass *analysis.Pass, expr ast.Expr) string {
+	path := expr
+	var root *ast.Ident
+loop:
+	for {
+		switch e := path.(type) {
+		case *ast.ParenExpr:
+			path = e.X
+		case *ast.StarExpr:
+			path = e.X
+		case *ast.SelectorExpr:
+			path = e.X
+		case *ast.IndexExpr:
+			path = e.X
+		case *ast.Ident:
+			root = e
+			break loop
+		default:
+			return ""
+		}
+	}
+	obj := pass.TypesInfo.Uses[root]
+	if obj == nil {
+		obj = pass.TypesInfo.Defs[root]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return ""
+	}
+	if v.Parent() == pass.Pkg.Scope() {
+		return "package variable " + exprString(expr)
+	}
+	if path == expr {
+		// Bare identifier: rebinding a local (even a pointer) mutates
+		// nothing shared.
+		return ""
+	}
+	if isPointerLike(pass, root) {
+		// Selector/index path through a pointer or map: the receiver,
+		// a pointer parameter, or a local pointer into state.
+		return exprString(expr)
+	}
+	// Path rooted at a local value (struct copy, scratch slice):
+	// writes stay local.
+	return ""
+}
+
+// isPointerLike reports whether the identifier's type is a pointer or
+// map — a reference into state rather than a local value. Slices are
+// deliberately excluded: local slice scratch is common and writing
+// aliased descriptor slices still goes through a selector root.
+func isPointerLike(pass *analysis.Pass, id *ast.Ident) bool {
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Defs[id]
+	}
+	if obj == nil {
+		return false
+	}
+	switch obj.Type().Underlying().(type) {
+	case *types.Pointer, *types.Map:
+		return true
+	}
+	return false
+}
+
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	case *ast.ParenExpr:
+		return "(" + exprString(e.X) + ")"
+	}
+	return "state"
+}
+
+// blockMustCharge walks statements in order: true as soon as a
+// statement charges on all its paths; false if a return exit is
+// reached first or the block falls off the end uncharged.
+func blockMustCharge(stmts []ast.Stmt, charging func(*ast.CallExpr) bool) bool {
+	for _, s := range stmts {
+		if stmtMustCharge(s, charging) {
+			return true
+		}
+		switch s := s.(type) {
+		case *ast.ReturnStmt:
+			return false
+		case *ast.ExprStmt:
+			if isPanic(s.X) {
+				// Crash path: no further simulated execution, so the
+				// remaining (nonexistent) paths vacuously charge.
+				return true
+			}
+		case *ast.BranchStmt:
+			_ = s
+			return false
+		}
+	}
+	return false
+}
+
+// stmtMustCharge reports whether every path through s charges.
+func stmtMustCharge(s ast.Stmt, charging func(*ast.CallExpr) bool) bool {
+	switch s := s.(type) {
+	case nil:
+		return false
+	case *ast.ExprStmt:
+		return exprCharges(s.X, charging)
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			if exprCharges(r, charging) {
+				return true
+			}
+		}
+		return false
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			if exprCharges(r, charging) {
+				return true
+			}
+		}
+		return false
+	case *ast.DeferStmt:
+		// A deferred charging call runs on every exit.
+		return exprCharges(s.Call, charging)
+	case *ast.IfStmt:
+		if stmtMustCharge(s.Init, charging) || exprCharges(s.Cond, charging) {
+			return true
+		}
+		if !blockMustCharge(s.Body.List, charging) {
+			return false
+		}
+		switch e := s.Else.(type) {
+		case *ast.BlockStmt:
+			return blockMustCharge(e.List, charging)
+		case *ast.IfStmt:
+			return stmtMustCharge(e, charging)
+		default:
+			return false // no else: the fall-through path is uncharged
+		}
+	case *ast.BlockStmt:
+		return blockMustCharge(s.List, charging)
+	case *ast.SwitchStmt:
+		return switchMustCharge(s.Body, s.Init, charging)
+	case *ast.TypeSwitchStmt:
+		return switchMustCharge(s.Body, s.Init, charging)
+	case *ast.ForStmt:
+		if stmtMustCharge(s.Init, charging) {
+			return true
+		}
+		if s.Cond == nil {
+			// No condition: the body runs at least once.
+			return blockMustCharge(s.Body.List, charging)
+		}
+		return exprCharges(s.Cond, charging)
+	case *ast.RangeStmt, *ast.SelectStmt, *ast.LabeledStmt, *ast.GoStmt:
+		return false // may execute zero times / elsewhere
+	}
+	return false
+}
+
+func switchMustCharge(body *ast.BlockStmt, init ast.Stmt, charging func(*ast.CallExpr) bool) bool {
+	if stmtMustCharge(init, charging) {
+		return true
+	}
+	hasDefault := false
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			return false
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		if !blockMustCharge(cc.Body, charging) {
+			return false
+		}
+	}
+	return hasDefault
+}
+
+// exprCharges reports whether evaluating e always performs a charging
+// call (a charging call appearing anywhere in the expression tree,
+// short-circuit right operands excluded).
+func exprCharges(e ast.Expr, charging func(*ast.CallExpr) bool) bool {
+	if e == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.BinaryExpr:
+			// && / || right operands are conditional.
+			if n.Op == token.LAND || n.Op == token.LOR {
+				if exprCharges(n.X, charging) {
+					found = true
+				}
+				return false
+			}
+		case *ast.CallExpr:
+			if charging(n) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isPanic(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// reportUnchargedCosts flags unexported cost constants with no
+// references in the package's non-test code. Exported Cost* constants
+// are skipped: their uses may be in other packages, invisible to
+// per-package analysis.
+func reportUnchargedCosts(pass *analysis.Pass) {
+	costs := map[types.Object]*ast.Ident{}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if !strings.HasPrefix(name.Name, "cost") {
+						continue
+					}
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						costs[obj] = name
+					}
+				}
+			}
+		}
+	}
+	if len(costs) == 0 {
+		return
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if obj := pass.TypesInfo.Uses[id]; obj != nil {
+				delete(costs, obj)
+			}
+			return true
+		})
+	}
+	for obj, id := range costs {
+		pass.Reportf(id.Pos(), "cost constant %s is never charged: either charge it where the simulated work happens or delete it from the cost model", obj.Name())
+	}
+}

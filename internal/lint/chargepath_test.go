@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"vpp/internal/lint"
+	"vpp/internal/lint/analysistest"
+)
+
+func TestChargepath(t *testing.T) {
+	analysistest.Run(t, "testdata/chargepath", lint.Chargepath, "vpp/internal/ck")
+}

@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"vpp/internal/lint/analysis"
+)
+
+// Invariantcall flags kernel-object cache operations whose fault/error
+// return is silently discarded. In the caching model, identifier
+// failures are ordinary events — the Cache Kernel answers a load with
+// ErrInvalidID or ErrAllLocked and expects the application kernel to
+// reload and retry (paper §2) — so a dropped error return is almost
+// always a missing fault path, not dead code. Deliberate discards must
+// be written `_ = k.Op(...)` (or `_, _ = ...`), which this analyzer
+// accepts as an explicit decision.
+var Invariantcall = &analysis.Analyzer{
+	Name: "invariantcall",
+	Doc: "error returns of Cache Kernel object-cache operations must be " +
+		"handled or explicitly discarded with _ =",
+	Run: runInvariantcall,
+}
+
+func runInvariantcall(pass *analysis.Pass) error {
+	if !deterministicPkg(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass, call)
+			if fn == nil || !isInvariantOp(fn) {
+				return true
+			}
+			if !returnsError(fn) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "result of %s (including its fault/error) is discarded; identifier failures are ordinary events in the caching model — handle the error or discard it explicitly with _ =", fn.Name())
+			return true
+		})
+	}
+	return nil
+}
+
+// isInvariantOp reports whether fn is a method on a type declared in
+// one of the kernel-object packages.
+func isInvariantOp(fn *types.Func) bool {
+	if fn.Pkg() == nil || !InvariantPackages[fn.Pkg().Path()] {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil
+}
+
+// returnsError reports whether any result of fn is of type error.
+func returnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		t := sig.Results().At(i).Type()
+		if named, ok := t.(*types.Named); ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error" {
+			return true
+		}
+	}
+	return false
+}

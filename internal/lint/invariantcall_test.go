@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"vpp/internal/lint"
+	"vpp/internal/lint/analysistest"
+)
+
+func TestInvariantcall(t *testing.T) {
+	analysistest.Run(t, "testdata/invariantcall", lint.Invariantcall, "vpp/internal/invfix")
+}

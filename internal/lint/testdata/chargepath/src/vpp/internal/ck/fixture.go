@@ -1,0 +1,82 @@
+// Package ck is the chargepath fixture: exported functions handed an
+// execution context that mutate simulated state must charge the cost
+// model on every path.
+package ck
+
+import "vpp/internal/hw"
+
+// Table is simulated state reached through a pointer receiver.
+type Table struct {
+	count int
+}
+
+// BadOp mutates state without charging.
+func (t *Table) BadOp(e *hw.Exec) { // want `BadOp mutates simulated state`
+	t.count++
+}
+
+// GoodOp charges before mutating.
+func (t *Table) GoodOp(e *hw.Exec) {
+	e.ChargeNoIntr(1)
+	t.count++
+}
+
+// BranchBad charges on only one of two paths.
+func (t *Table) BranchBad(e *hw.Exec, cond bool) { // want `BranchBad mutates simulated state`
+	if cond {
+		e.Charge(1)
+	}
+	t.count++
+}
+
+// BranchGood charges on both paths.
+func (t *Table) BranchGood(e *hw.Exec, cond bool) {
+	if cond {
+		e.Charge(1)
+	} else {
+		e.ChargeNoIntr(1)
+	}
+	t.count++
+}
+
+// ViaHelper charges transitively through an in-package helper.
+func (t *Table) ViaHelper(e *hw.Exec) {
+	chargeHelper(e)
+	t.count++
+}
+
+func chargeHelper(e *hw.Exec) { e.Instr(1) }
+
+// ViaKnown charges through a known charging Exec method.
+func (t *Table) ViaKnown(e *hw.Exec) {
+	e.Store32(0, 1)
+	t.count++
+}
+
+// LocalOnly mutates only locals: nothing simulated changes.
+func LocalOnly(e *hw.Exec) int {
+	n := 0
+	n++
+	return n
+}
+
+// NoExec has no execution context and is out of scope.
+func (t *Table) NoExec() {
+	t.count++
+}
+
+// Allowed documents where the cycles are charged instead.
+//
+//ckvet:allow chargepath the fixture caller charges around this call
+func (t *Table) Allowed(e *hw.Exec) {
+	t.count++
+}
+
+const costUsed = 2
+
+const costDead = 3 // want `cost constant costDead is never charged`
+
+// UseCost keeps costUsed charged.
+func UseCost(e *hw.Exec) {
+	e.Charge(costUsed)
+}

@@ -1,0 +1,24 @@
+// Package hw stubs the execution engine for the chargepath fixture.
+// The analyzer recognizes Exec and its charging methods by package path
+// and name, so only the shapes matter.
+package hw
+
+// Exec stands in for the execution context carrying the cycle meter.
+type Exec struct {
+	Mode int
+}
+
+// Charge is a charging primitive.
+func (e *Exec) Charge(c uint64) {}
+
+// ChargeNoIntr is a charging primitive.
+func (e *Exec) ChargeNoIntr(c uint64) {}
+
+// Instr is a charging primitive.
+func (e *Exec) Instr(n int) {}
+
+// Store32 is a known charging memory access.
+func (e *Exec) Store32(va, v uint32) {}
+
+// Load32 is a known charging memory access.
+func (e *Exec) Load32(va uint32) uint32 { return 0 }

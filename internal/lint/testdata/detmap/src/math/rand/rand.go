@@ -1,0 +1,6 @@
+// Package rand stubs math/rand for the detmap fixture: any package-level
+// function here uses the shared global generator.
+package rand
+
+// Intn draws from the process-global generator (flagged by detmap).
+func Intn(n int) int { return 0 }

@@ -1,0 +1,11 @@
+// Package sort stubs the standard library for the detmap fixture.
+package sort
+
+// Strings sorts a slice of strings.
+func Strings(x []string) {}
+
+// Slice is the unstable sort (flagged by detmap).
+func Slice(x any, less func(i, j int) bool) {}
+
+// SliceStable is the stable sort (not flagged).
+func SliceStable(x any, less func(i, j int) bool) {}

@@ -1,0 +1,19 @@
+// Package time stubs the parts of the standard library the detmap
+// fixture exercises. The analyzer matches callees by package path and
+// name, so only the shapes matter.
+package time
+
+// Time stands in for the standard Time.
+type Time struct{}
+
+// Duration stands in for the standard Duration.
+type Duration int64
+
+// Now reads the host clock (flagged by detmap).
+func Now() Time { return Time{} }
+
+// Since reads the host clock (flagged by detmap).
+func Since(t Time) Duration { return 0 }
+
+// Sub is a pure method on Time (not flagged).
+func (t Time) Sub(u Time) Duration { return 0 }

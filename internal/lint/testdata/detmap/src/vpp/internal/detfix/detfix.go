@@ -1,0 +1,126 @@
+// Package detfix is the detmap fixture: each flagged line carries a
+// want comment; exempt shapes and suppressed lines carry none.
+package detfix
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// rangeFlagged has a conditional body the analysis cannot prove
+// order-independent.
+func rangeFlagged(m map[int]int) int {
+	sum := 0
+	for _, v := range m { // want `range over map\[int\]int iterates in nondeterministic order`
+		if v > 0 {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// rangeAccum is a pure commutative accumulation: exempt.
+func rangeAccum(m map[int]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// rangeInsert writes a second map keyed by the range key: exempt.
+func rangeInsert(m map[string]int) map[string]int {
+	out := make(map[string]int)
+	for k := range m {
+		out[k] = 1
+	}
+	return out
+}
+
+// rangeSorted is the collect-then-sort idiom: exempt.
+func rangeSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// rangeAllowed is a genuine order-independent reduction the analysis
+// cannot prove; the annotation suppresses it.
+func rangeAllowed(m map[int]int) int {
+	best := -1
+	//ckvet:allow detmap min-reduction over the keys is order independent
+	for k := range m {
+		if best < 0 || k < best {
+			best = k
+		}
+	}
+	return best
+}
+
+// clock reads the host wall clock.
+func clock() time.Time {
+	return time.Now() // want `time\.Now reads the host clock`
+}
+
+// elapsed reads the host wall clock through time.Since.
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time\.Since reads the host clock`
+}
+
+// clockAllowed is host-side instrumentation by design.
+func clockAllowed() time.Time {
+	return time.Now() //ckvet:allow detmap host-side measurement in fixture
+}
+
+// sub calls a method on a time value: methods are never flagged.
+func sub(a, b time.Time) time.Duration { return a.Sub(b) }
+
+// roll uses the process-global generator.
+func roll() int {
+	return rand.Intn(6) // want `global math/rand`
+}
+
+// unstable uses the unstable sort.
+func unstable(xs []int) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] }) // want `sort\.Slice is unstable`
+}
+
+// stable uses the stable sort: not flagged.
+func stable(xs []int) {
+	sort.SliceStable(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}
+
+// spawn starts a goroutine.
+func spawn(f func()) {
+	go f() // want `go statement in deterministic package`
+}
+
+// spawnAllowed documents why its goroutine is safe.
+func spawnAllowed(f func()) {
+	//ckvet:allow detmap fixture goroutine hands off synchronously
+	go f()
+}
+
+// pick chooses among ready channels nondeterministically.
+func pick(a, b chan int) int {
+	select { // want `multi-way select in deterministic package`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// poll is a single-channel non-blocking receive: not flagged.
+func poll(a chan int) int {
+	select {
+	case v := <-a:
+		return v
+	default:
+		return 0
+	}
+}

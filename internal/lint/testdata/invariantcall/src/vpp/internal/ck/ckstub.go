@@ -1,0 +1,21 @@
+// Package ck stubs kernel-object cache operations for the
+// invariantcall fixture: methods on types declared here that return an
+// error are cache operations whose fault path must not be dropped.
+package ck
+
+// Cache stands in for a kernel-object descriptor cache.
+type Cache struct {
+	n int
+}
+
+// Load is a cache operation with a fault return.
+func (c *Cache) Load() error { return nil }
+
+// Evict is a cache operation with a fault return.
+func (c *Cache) Evict() error { return nil }
+
+// Len has no fault return.
+func (c *Cache) Len() int { return c.n }
+
+// NewCache is a free function, not a cache operation.
+func NewCache() (*Cache, error) { return &Cache{}, nil }

@@ -1,0 +1,19 @@
+// Package invfix is the invariantcall fixture: discarded error returns
+// from kernel-object cache operations must be made explicit.
+package invfix
+
+import "vpp/internal/ck"
+
+// Use exercises every discard shape.
+func Use(c *ck.Cache) int {
+	c.Load() // want `result of Load .* is discarded`
+	_ = c.Evict()
+	if err := c.Load(); err != nil {
+		return 0
+	}
+	c.Len()
+	//ckvet:allow invariantcall best-effort cleanup in this fixture
+	c.Evict()
+	ck.NewCache()
+	return c.Len()
+}

@@ -337,6 +337,7 @@ func (e *Engine) resumeCoro(co *Coro, horizon uint64) {
 // control bounces to the engine goroutine.
 func (e *Engine) startCoro(co *Coro) {
 	co.started = true
+	//ckvet:allow detmap coroutine goroutines hand off through unbuffered channels; exactly one is ever runnable
 	go func() {
 		h := <-co.resume
 		co.ctx.horizon = h

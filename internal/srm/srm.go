@@ -12,6 +12,7 @@ package srm
 
 import (
 	"fmt"
+	"sort"
 
 	"vpp/internal/aklib"
 	"vpp/internal/ck"
@@ -87,8 +88,13 @@ func Start(k *ck.Kernel, mpm *hw.MPM, main func(s *SRM, e *hw.Exec)) (*SRM, erro
 	// Cache pressure may write a launched kernel back (swap it out); the
 	// SRM records it so Unswap can revive it later.
 	s.OnKernelWB = func(id ck.ObjID) {
-		for _, l := range s.launched {
-			if l.KID == id {
+		var names []string
+		for n := range s.launched {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			if l := s.launched[n]; l.KID == id {
 				s.DetachSpace(l.SID)
 				l.AK.DetachSpace(l.SID)
 				l.KID, l.SID = 0, 0

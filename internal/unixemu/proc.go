@@ -2,6 +2,7 @@ package unixemu
 
 import (
 	"fmt"
+	"sort"
 
 	"vpp/internal/aklib"
 	"vpp/internal/ck"
@@ -113,13 +114,15 @@ func (u *Unix) Spawn(e *hw.Exec, name string, parent *Proc) (*Proc, error) {
 	swap := u.FS.SwapBacking(fmt.Sprintf("swap/%d", p.pid))
 	p.heap, err = p.sm.Map(e, "heap", DataBase, HeapMaxPages, aklib.SegFlags{Writable: true}, swap)
 	if err != nil {
-		u.K.UnloadSpace(e, sid)
+		// Best-effort cleanup of the just-loaded space; the Map error
+		// is what the caller needs to see.
+		_ = u.K.UnloadSpace(e, sid)
 		return nil, err
 	}
 	p.brkPages = 0
 	p.stack, err = p.sm.Map(e, "stack", StackBase, StackPages, aklib.SegFlags{Writable: true}, swap)
 	if err != nil {
-		u.K.UnloadSpace(e, sid)
+		_ = u.K.UnloadSpace(e, sid) // best-effort cleanup, keep the Map error
 		return nil, err
 	}
 	p.fds = make([]*FD, 3) // stdin/stdout/stderr slots (console-less)
@@ -133,7 +136,7 @@ func (u *Unix) Spawn(e *hw.Exec, name string, parent *Proc) (*Proc, error) {
 		}
 	})
 	if err := p.thread.Load(e, false); err != nil {
-		u.K.UnloadSpace(e, sid)
+		_ = u.K.UnloadSpace(e, sid) // best-effort cleanup, keep the Load error
 		return nil, err
 	}
 	u.procs[p.pid] = p
@@ -313,12 +316,7 @@ func (u *Unix) programNames() []string {
 	for n := range u.programs {
 		names = append(names, n)
 	}
-	// insertion sort (tiny table, avoids an import)
-	for i := 1; i < len(names); i++ {
-		for j := i; j > 0 && names[j] < names[j-1]; j-- {
-			names[j], names[j-1] = names[j-1], names[j]
-		}
-	}
+	sort.Strings(names)
 	return names
 }
 
