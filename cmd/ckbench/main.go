@@ -10,11 +10,13 @@
 //	s52c  §5.2 MP3D page-locality degradation
 //	a1    ablation: reverse-TLB vs two-stage signal delivery
 //	a7    ablation: LRU vs application-controlled database paging
+//	rec   crash-recovery latency under a scripted Cache Kernel crash
+//	      (opt-in: not part of "all", like -hostperf)
 //
 // -hostperf instead measures host-side simulator throughput (virtual
 // results are unaffected by it); with -json the report is also written
-// to BENCH_hostperf.json for comparison across commits (see
-// EXPERIMENTS.md).
+// to BENCH_hostperf.json — and -exp rec writes BENCH_recovery.json —
+// for comparison across commits (see EXPERIMENTS.md).
 package main
 
 import (
@@ -32,7 +34,7 @@ func main() {
 	expFlag := flag.String("exp", "all", "experiments to run (comma separated)")
 	full := flag.Bool("full", false, "use the paper's full 65536-descriptor pool in s52b (slower)")
 	hostperf := flag.Bool("hostperf", false, "measure host-side simulator throughput instead of running experiments")
-	jsonOut := flag.Bool("json", false, "with -hostperf, also write BENCH_hostperf.json")
+	jsonOut := flag.Bool("json", false, "with -hostperf or -exp rec, also write the BENCH_*.json report")
 	flag.Parse()
 
 	if *hostperf {
@@ -105,6 +107,23 @@ func main() {
 		res, err := exp.MeasureDB()
 		if check(err) {
 			fmt.Println(res)
+		}
+	}
+	// Opt-in like -hostperf: the scripted crash perturbs nothing when
+	// not requested, and "all" output stays byte-stable across commits.
+	if want["rec"] {
+		fmt.Printf("=== REC: crash recovery latency (paper §3: all Cache Kernel state is regenerable) ===\n")
+		res, err := exp.RunRecoveryWorkload(nil)
+		if check(err) {
+			fmt.Println(res)
+			if *jsonOut {
+				b, err := json.MarshalIndent(res, "", "  ")
+				if check(err) {
+					if check(os.WriteFile("BENCH_recovery.json", append(b, '\n'), 0o644)) {
+						fmt.Println("wrote BENCH_recovery.json")
+					}
+				}
+			}
 		}
 	}
 	if failed {

@@ -53,6 +53,13 @@ type AppKernel struct {
 	OnSpaceWB   func(id ck.ObjID)
 	OnKernelWB  func(id ck.ObjID)
 
+	// OnRecover, when set, is the kernel's crash-recovery entry point:
+	// after a Cache Kernel crash-reboot the SRM reloads the kernel and
+	// runs OnRecover on a fresh thread in the kernel's own space, with
+	// the kernel's authority. The kernel reloads or recreates its
+	// threads from its backing records there.
+	OnRecover func(e *hw.Exec)
+
 	// spaceMgrs maps loaded space IDs to their segment managers so the
 	// fault handler can find the right one.
 	spaceMgrs map[ck.ObjID]*SegmentManager
@@ -102,6 +109,28 @@ func (ak *AppKernel) AttachSpace(sid ck.ObjID, sm *SegmentManager) {
 
 // DetachSpace removes a space's segment manager (when unloading it).
 func (ak *AppKernel) DetachSpace(sid ck.ObjID) { delete(ak.spaceMgrs, sid) }
+
+// InvalidateLoadedState discards the library's record of what the Cache
+// Kernel holds: every space's mapping state is marked unloaded and the
+// loaded-thread index is cleared. Crash recovery calls it — the cached
+// descriptors are gone without any writeback, so only the backing
+// records remain true.
+func (ak *AppKernel) InvalidateLoadedState() {
+	sids := make([]ck.ObjID, 0, len(ak.spaceMgrs))
+	//ckvet:allow detmap keys are collected then sorted before use
+	for sid := range ak.spaceMgrs {
+		sids = append(sids, sid)
+	}
+	for i := 1; i < len(sids); i++ {
+		for j := i; j > 0 && sids[j] < sids[j-1]; j-- {
+			sids[j], sids[j-1] = sids[j-1], sids[j]
+		}
+	}
+	for _, sid := range sids {
+		ak.spaceMgrs[sid].markUnloaded()
+	}
+	ak.threadsByID = make(map[ck.ObjID]*Thread)
+}
 
 // SpaceManager returns the segment manager attached to a space.
 func (ak *AppKernel) SpaceManager(sid ck.ObjID) *SegmentManager { return ak.spaceMgrs[sid] }

@@ -25,6 +25,7 @@ type Thread struct {
 	Loaded bool
 
 	state ck.ThreadState
+	body  func(e *hw.Exec)
 }
 
 // NewThread creates a thread record whose body runs when first loaded
@@ -34,10 +35,28 @@ func (ak *AppKernel) NewThread(name string, sid ck.ObjID, prio int, body func(e 
 		AK:      ak,
 		Name:    name,
 		SpaceID: sid,
+		body:    body,
 	}
 	th.Exec = ak.MPM.NewExec(ak.Name+"/"+name, body)
 	th.state = ck.ThreadState{Priority: prio, Exec: th.Exec}
 	return th
+}
+
+// Revive replaces a finished execution context with a fresh one running
+// the thread's body from the start. A Cache Kernel crash kills the
+// contexts that were running on the MPM's CPUs; their register state is
+// unrecoverable, so the application kernel — which holds the program,
+// not just the cached descriptor — reruns it. Threads adopted without a
+// body (and contexts that are still resumable) are not revivable.
+func (t *Thread) Revive() bool {
+	if t.body == nil || t.Exec == nil || !t.Exec.Finished() {
+		return false
+	}
+	t.Exec = t.AK.MPM.NewExec(t.AK.Name+"/"+t.Name, t.body)
+	t.state = ck.ThreadState{Priority: t.state.Priority, Exec: t.Exec}
+	t.Loaded = false
+	t.TID = 0
+	return true
 }
 
 // TrackThread registers another kernel's thread record for writeback

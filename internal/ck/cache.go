@@ -98,6 +98,29 @@ func (c *objCache[T]) release(idx int32) {
 	c.loaded--
 }
 
+// wipe releases every slot at once without running any reclaim or
+// writeback protocol — the crash path. Per-slot generation counters
+// are preserved (alloc bumps them), so no identifier handed out before
+// the wipe can ever validate against an object loaded after it. The
+// free list is rebuilt in boot order so a post-crash reboot allocates
+// slots in exactly the sequence a fresh cache would.
+func (c *objCache[T]) wipe() {
+	var zero T
+	for i := range c.slots {
+		s := &c.slots[i]
+		s.inUse = false
+		s.locked = false
+		s.obj = zero
+		s.prev, s.next = -1, -1
+	}
+	c.free = c.free[:0]
+	for i := len(c.slots) - 1; i >= 0; i-- {
+		c.free = append(c.free, int32(i))
+	}
+	c.lruHead, c.lruTail = -1, -1
+	c.loaded = 0
+}
+
 // touch marks slot idx most recently used.
 func (c *objCache[T]) touch(idx int32) {
 	c.lruRemove(idx)

@@ -42,6 +42,24 @@ func (k *Kernel) CheckInvariants() error {
 		if to.owner.threads[to.slot] != to {
 			fail("kernel %q does not own its thread %v", to.owner.attrs.Name, to.id)
 		}
+		// Reverse of the signal-record check below: everything the
+		// thread believes depends on it must be a live signal record
+		// naming it — a corrupted writeback or partial reclaim must
+		// never leave a tracked index pointing at a freed or recycled
+		// record.
+		//ckvet:allow detmap validation scan; any violation fails the run regardless of which is reported
+		for idx := range to.sigRecords {
+			if int(idx) < 0 || int(idx) >= len(k.pm.recs) {
+				fail("thread %v tracks out-of-range record %d", to.id, idx)
+				continue
+			}
+			r := k.pm.rec(idx)
+			if r.kind() != depSignal {
+				fail("thread %v tracks record %d of kind %d", to.id, idx, r.kind())
+			} else if int32(r.dep) != to.slot {
+				fail("thread %v tracks signal record %d naming slot %d", to.id, idx, r.dep)
+			}
+		}
 		return err == nil
 	})
 	if err != nil {
@@ -49,9 +67,14 @@ func (k *Kernel) CheckInvariants() error {
 	}
 
 	// Spaces: containment and page-table/pmap agreement.
+	liveSpaces := 0
 	k.spaces.forEach(func(idx int32, so *SpaceObj) bool {
+		liveSpaces++
 		if _, ok := k.kernels.get(so.owner.slot, so.owner.id.gen()); !ok {
 			fail("space %v owned by unloaded kernel", so.id)
+		}
+		if k.spaceByHW[so.hw] != so {
+			fail("space %v missing from the hardware-space index", so.id)
 		}
 		n := 0
 		so.hw.Table.Walk(func(va uint32, pte pagetable.PTE) bool {
@@ -76,6 +99,34 @@ func (k *Kernel) CheckInvariants() error {
 	})
 	if err != nil {
 		return err
+	}
+	// The derived indexes hold exactly the live objects: a stale entry
+	// would let a reclaimed descriptor act with a dead kernel's
+	// authority (callerKernel resolves through these maps).
+	if len(k.spaceByHW) != liveSpaces {
+		return fmt.Errorf("invariant: spaceByHW has %d entries for %d loaded spaces", len(k.spaceByHW), liveSpaces)
+	}
+	designated := 0
+	k.kernels.forEach(func(_ int32, ko *KernelObj) bool {
+		if ko.space == nil {
+			return true
+		}
+		if got, ok := k.spaces.get(ko.space.slot, ko.space.id.gen()); !ok || got != ko.space {
+			fail("kernel %q designates unloaded space %v", ko.attrs.Name, ko.space.id)
+			return false
+		}
+		if k.kernelBySpace[ko.space] != ko {
+			fail("kernel %q missing from the designated-space index", ko.attrs.Name)
+			return false
+		}
+		designated++
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if len(k.kernelBySpace) != designated {
+		return fmt.Errorf("invariant: kernelBySpace has %d entries for %d designated spaces", len(k.kernelBySpace), designated)
 	}
 
 	// Every live pmap record is consistent; totals match.

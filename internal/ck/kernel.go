@@ -27,6 +27,19 @@ type Stats struct {
 	ContextSwitches uint64
 	Preemptions     uint64
 	QuotaDemotions  uint64
+
+	// Fault-injection counters (internal/chaos).
+	Crashes              uint64
+	SignalsInjDropped    uint64
+	SignalsInjDuplicated uint64
+	WritebacksCorrupted  uint64
+}
+
+// SignalVerdict is a fault injector's decision about one signal
+// delivery: lose the inter-processor notification, or deliver it twice.
+type SignalVerdict struct {
+	Drop bool
+	Dup  bool
 }
 
 // Kernel is one Cache Kernel instance: the supervisor-mode object cache
@@ -61,6 +74,26 @@ type Kernel struct {
 	// current virtual time — used by cmd/cktrace to narrate the paper's
 	// Figure 2 and Figure 3 scenarios.
 	Trace func(event string, now uint64, detail string)
+
+	// Epoch counts crash-reboots of this Cache Kernel instance. It is
+	// never reset: together with the preserved slot generations it keeps
+	// every pre-crash identifier invalid after recovery.
+	Epoch uint64
+
+	// SignalFault, when non-nil, may drop or duplicate each signal
+	// delivery (internal/chaos). Nil costs nothing.
+	SignalFault func(to ObjID, value uint32) SignalVerdict
+
+	// WritebackFault, when non-nil, is consulted before each writeback
+	// delivery to an application kernel; returning true corrupts the
+	// writeback — the descriptor is reclaimed but its state never
+	// reaches the owner (internal/chaos). Nil costs nothing.
+	WritebackFault func(kind string, id ObjID) bool
+
+	// OnDispatch, when non-nil, observes every thread dispatch (the
+	// recovery experiment uses it to timestamp the first application
+	// resume after a reboot). Nil costs nothing.
+	OnDispatch func(id ObjID, execName string, now uint64)
 
 	Stats Stats
 }

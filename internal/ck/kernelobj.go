@@ -212,7 +212,7 @@ func (k *Kernel) reclaimKernel(e *hw.Exec, ko *KernelObj, wbDeps, wbSelf bool) {
 		if e != nil {
 			e.ChargeNoIntr(costKernelWriteback)
 		}
-		if ko.owner != nil && ko.owner.attrs.Wb != nil {
+		if ko.owner != nil && ko.owner.attrs.Wb != nil && !k.corruptWriteback(e, "kernel", id) {
 			ko.owner.attrs.Wb.KernelWriteback(id)
 		}
 	}

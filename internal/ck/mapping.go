@@ -296,7 +296,7 @@ func (k *Kernel) unloadMappingRecord(e *hw.Exec, pvIdx int32, writeback, keepSlo
 		if e != nil {
 			e.ChargeNoIntr(costMappingWriteback)
 		}
-		if so.owner.attrs.Wb != nil {
+		if so.owner.attrs.Wb != nil && !k.corruptWriteback(e, "mapping", so.id) {
 			so.owner.attrs.Wb.MappingWriteback(st)
 		}
 	}

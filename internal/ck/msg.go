@@ -77,11 +77,31 @@ func (k *Kernel) MessageWrite(e *hw.Exec, va, pa uint32) {
 	}
 }
 
-// deliverSignal hands an address-valued signal to a thread: waking it if
-// it blocked in WaitSignal, queueing otherwise ("while the thread is
-// running in its signal function, additional signals are queued within
-// the Cache Kernel").
+// deliverSignal hands an address-valued signal to a thread, first
+// letting an installed fault injector lose or duplicate it (the
+// inter-processor interrupt behind the delivery is the lossy part;
+// queue state inside the Cache Kernel is not).
 func (k *Kernel) deliverSignal(to *ThreadObj, value uint32, nowHint uint64, e *hw.Exec) {
+	if f := k.SignalFault; f != nil {
+		v := f(to.id, value)
+		if v.Drop {
+			k.Stats.SignalsInjDropped++
+			k.trace(e, "chaos-drop-signal", fmt.Sprintf("to %v value=%#x", to.id, value))
+			return
+		}
+		if v.Dup {
+			k.Stats.SignalsInjDuplicated++
+			k.trace(e, "chaos-dup-signal", fmt.Sprintf("to %v value=%#x", to.id, value))
+			k.deliverSignalOnce(to, value, nowHint, e)
+		}
+	}
+	k.deliverSignalOnce(to, value, nowHint, e)
+}
+
+// deliverSignalOnce wakes the thread if it blocked in WaitSignal and
+// queues otherwise ("while the thread is running in its signal
+// function, additional signals are queued within the Cache Kernel").
+func (k *Kernel) deliverSignalOnce(to *ThreadObj, value uint32, nowHint uint64, e *hw.Exec) {
 	k.trace(e, "signal-deliver", fmt.Sprintf("to %v value=%#x", to.id, value))
 	if to.waitingSignal {
 		to.waitingSignal = false

@@ -153,6 +153,9 @@ func (s *scheduler) dispatch(cpu *hw.CPU, t *ThreadObj) {
 	// periodically accounted against their kernel's quota even without
 	// same-priority contention.
 	cpu.ArmTimerAt(cpu.Clock.Now() + s.k.Cfg.TimeSlice)
+	if s.k.OnDispatch != nil {
+		s.k.OnDispatch(t.id, t.exec.Name, cpu.Clock.Now())
+	}
 }
 
 // dispatchNext fills a free CPU with the best ready thread, if any. It

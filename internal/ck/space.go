@@ -163,7 +163,7 @@ func (k *Kernel) reclaimSpace(e *hw.Exec, so *SpaceObj, wbDeps, wbSelf bool) {
 		if e != nil {
 			e.ChargeNoIntr(costSpaceWriteback)
 		}
-		if owner.attrs.Wb != nil {
+		if owner.attrs.Wb != nil && !k.corruptWriteback(e, "space", id) {
 			owner.attrs.Wb.SpaceWriteback(id)
 		}
 	}

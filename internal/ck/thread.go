@@ -183,7 +183,7 @@ func (k *Kernel) reclaimThread(e *hw.Exec, to *ThreadObj, writeback, dying bool)
 		if e != nil {
 			e.ChargeNoIntr(costThreadWriteback)
 		}
-		if owner.attrs.Wb != nil {
+		if owner.attrs.Wb != nil && !k.corruptWriteback(e, "thread", id) {
 			owner.attrs.Wb.ThreadWriteback(id, st)
 		}
 	}

@@ -58,6 +58,9 @@ type Node struct {
 
 	// Stats.
 	Fetches, Upgrades, Invalidations, Serves uint64
+	// Retries counts coherence-request retransmissions after a reply
+	// timeout (zero unless the fault plan loses fiber frames).
+	Retries uint64
 }
 
 // Attach creates a node over a shared region of n pages at base in the
@@ -177,17 +180,30 @@ func (n *Node) rpc(e *hw.Exec, op byte, page uint32, body []byte) bool {
 	n.replyWait = true
 	n.replyPage = page
 	n.replyData = nil
-	if err := n.send(e, op, page, body); err != nil {
-		return false
-	}
-	deadline := e.Now() + hw.CyclesFromMicros(500_000)
-	for n.replyWait {
-		if e.Now() > deadline {
+	// Requests are idempotent (the server re-serves the same page and a
+	// duplicate reply for a page we no longer wait on is ignored), so a
+	// lost request or reply is repaired by retransmission. A healthy
+	// fiber answers within microseconds; the retry timer never fires
+	// unless the fault plan dropped a frame.
+	for attempt := 0; attempt < 4; attempt++ {
+		if attempt > 0 {
+			n.Retries++
+		}
+		if err := n.send(e, op, page, body); err != nil {
 			return false
 		}
-		e.Charge(500)
+		deadline := e.Now() + hw.CyclesFromMicros(500_000)
+		for n.replyWait {
+			if e.Now() > deadline {
+				break
+			}
+			e.Charge(500)
+		}
+		if !n.replyWait {
+			return true
+		}
 	}
-	return true
+	return false
 }
 
 func (n *Node) send(e *hw.Exec, op byte, page uint32, body []byte) error {

@@ -29,6 +29,17 @@ const (
 	EtherMinFrame      = 60
 )
 
+// FrameFault is a fault-injection verdict for one transmitted frame or
+// fiber message: the wire may lose it, deliver it twice, or deliver it
+// late (a device timeout from the receiver's point of view). Injection
+// acts on the wire, not the sender — transmit charges and counters are
+// unchanged, exactly as a real sender cannot observe a lost frame.
+type FrameFault struct {
+	Drop  bool
+	Dup   bool
+	Delay uint64 // extra delivery latency, cycles
+}
+
 // Wire is a shared Ethernet segment connecting NICs.
 type Wire struct {
 	nics []*NIC
@@ -56,10 +67,18 @@ type NIC struct {
 	TxFrames, RxFrames uint64
 	TxBytes, RxBytes   uint64
 	Dropped            uint64
+	// WireDropped/WireDuped count injected wire faults on transmits
+	// from this NIC.
+	WireDropped, WireDuped uint64
 
 	// RxQueueLimit bounds the pending queue (overflow drops, like a
 	// real ring).
 	RxQueueLimit int
+
+	// TxFault, when non-nil, is consulted once per transmitted frame
+	// and may drop, duplicate or delay its delivery (internal/chaos).
+	// Nil costs nothing and changes nothing.
+	TxFault func(frame []byte) FrameFault
 }
 
 // AttachNIC creates a NIC on the wire for an MPM.
@@ -87,8 +106,15 @@ func (n *NIC) Transmit(e *hw.Exec, frame []byte) error {
 	n.TxBytes += uint64(len(frame))
 	n.wire.Frames++
 	delay := uint64(len(frame))*EtherCyclesPerByte + EtherLatency
-	eng := n.MPM.Machine.Eng
-	eng.ScheduleAfter(delay, func() {
+	var ff FrameFault
+	if n.TxFault != nil {
+		ff = n.TxFault(dup)
+	}
+	if ff.Drop {
+		n.WireDropped++
+		return nil
+	}
+	deliver := func() {
 		var dst MAC
 		copy(dst[:], dup[0:6])
 		for _, peer := range n.wire.nics {
@@ -100,7 +126,13 @@ func (n *NIC) Transmit(e *hw.Exec, frame []byte) error {
 			}
 			peer.receive(dup)
 		}
-	})
+	}
+	eng := n.MPM.Machine.Eng
+	eng.ScheduleAfter(delay+ff.Delay, deliver)
+	if ff.Dup {
+		n.WireDuped++
+		eng.ScheduleAfter(delay+ff.Delay+EtherLatency, deliver)
+	}
 	return nil
 }
 
@@ -156,6 +188,13 @@ type FiberPort struct {
 
 	TxMsgs, RxMsgs uint64
 	TxBytes        uint64
+	// WireDropped/WireDuped count injected faults on sends from this
+	// port.
+	WireDropped, WireDuped uint64
+
+	// TxFault, when non-nil, may drop, duplicate or delay each sent
+	// message (internal/chaos). Nil costs nothing.
+	TxFault func(msg []byte) FrameFault
 }
 
 // ConnectFiber creates a connected pair of ports.
@@ -178,13 +217,27 @@ func (p *FiberPort) Send(e *hw.Exec, msg []byte) error {
 	p.TxMsgs++
 	p.TxBytes += uint64(len(msg))
 	peer := p.peer
-	p.MPM.Machine.Eng.ScheduleAfter(cycles+FiberLatency, func() {
+	var ff FrameFault
+	if p.TxFault != nil {
+		ff = p.TxFault(dup)
+	}
+	if ff.Drop {
+		p.WireDropped++
+		return nil
+	}
+	deliver := func() {
 		peer.pending = append(peer.pending, dup)
 		peer.RxMsgs++
 		if peer.OnRx != nil {
 			peer.OnRx()
 		}
-	})
+	}
+	eng := p.MPM.Machine.Eng
+	eng.ScheduleAfter(cycles+FiberLatency+ff.Delay, deliver)
+	if ff.Dup {
+		p.WireDuped++
+		eng.ScheduleAfter(cycles+FiberLatency+ff.Delay+FiberLatency, deliver)
+	}
 	return nil
 }
 

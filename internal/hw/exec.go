@@ -53,6 +53,7 @@ type Exec struct {
 	ctx      *sim.Ctx
 	devClock *sim.Clock // non-nil for device executions
 	finished bool
+	killed   bool
 
 	// mc is a one-entry translation micro-cache: the last (asid, vpn)
 	// pair this context translated through a TLB hit, valid only while
@@ -137,16 +138,36 @@ func (e *Exec) Now() uint64 { return e.ctx.Now() }
 // Exit terminates the context immediately (from any call depth).
 func (e *Exec) Exit() { panic(execExit{e}) }
 
+// Kill marks a running context for destruction: at its next charge
+// point it unwinds as if its body had returned. A reset wipes the
+// register file, so a killed context cannot be resumed — only a fresh
+// context can rerun its program. The Cache Kernel's crash path kills
+// whatever was executing on the MPM's CPUs.
+//
+//ckvet:allow chargepath a reset line is asynchronous hardware, not an instruction; the victim is charged nothing
+func (e *Exec) Kill() { e.killed = true }
+
+// Killed reports whether the context is marked for destruction.
+func (e *Exec) Killed() bool { return e.killed }
+
 // Charge advances virtual time by cycles and then delivers any pending
 // interrupts latched on the current CPU.
 func (e *Exec) Charge(cycles uint64) {
 	e.ctx.Advance(cycles)
+	if e.killed {
+		e.Exit()
+	}
 	e.pollInterrupts()
 }
 
 // ChargeNoIntr advances virtual time without an interrupt window (used
 // inside the supervisor's critical sections).
-func (e *Exec) ChargeNoIntr(cycles uint64) { e.ctx.Advance(cycles) }
+func (e *Exec) ChargeNoIntr(cycles uint64) {
+	e.ctx.Advance(cycles)
+	if e.killed {
+		e.Exit()
+	}
+}
 
 func (e *Exec) pollInterrupts() {
 	c := e.CPU
@@ -300,6 +321,11 @@ func (e *Exec) Translate(va uint32, write bool) (uint32, pagetable.PTE) {
 		depth := sp.Table.WalkDepth(va)
 		for i := 0; i < depth; i++ {
 			e.Charge(CostMemHit + CostTLBFillPerLevel)
+		}
+		if f := e.MPM.WalkFault; f != nil && f(e, va) {
+			// Transient walk error (a parity hit during the table
+			// walk): the hardware retries the walk from the root.
+			continue
 		}
 		wpte, ok := sp.Table.Lookup(va)
 		if ok && (!write || wpte.Writable()) {

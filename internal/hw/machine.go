@@ -87,6 +87,12 @@ type MPM struct {
 	LocalRAM *RAMAllocator
 	L2       *L2Cache
 	Sup      Supervisor
+
+	// WalkFault, when non-nil, is consulted once per hardware table
+	// walk; returning true makes the walk fail transiently — the walk
+	// cycles are charged and the hardware re-walks from the root.
+	// Fault injection (internal/chaos) installs it; nil costs nothing.
+	WalkFault func(e *Exec, va uint32) bool
 }
 
 // FlushTLBPage removes the (asid, vpn) translation from every CPU of the

@@ -30,6 +30,9 @@ type Stack struct {
 
 	// Stats.
 	RxFrames, RxUDP, RxARP, BadFrames uint64
+	// ARPRetries counts ARP request rebroadcasts after a resolution
+	// stall (zero unless the wire loses frames).
+	ARPRetries uint64
 }
 
 // UDPConn is a bound UDP port with a datagram queue.
@@ -203,6 +206,13 @@ func (c *UDPConn) SendTo(e *hw.Exec, dst IP, dstPort uint16, payload []byte) err
 			}
 			if spins > 10000 {
 				return fmt.Errorf("netboot: ARP for %v timed out", dst)
+			}
+			// Rebroadcast periodically: a healthy wire answers within a
+			// handful of spins, so only a lost request or reply reaches a
+			// retransmission.
+			if spins > 0 && spins%1000 == 0 {
+				s.ARPRetries++
+				s.sendFrame(e, dev.Broadcast, EtherTypeARP, MarshalARP(req))
 			}
 			e.Charge(500)
 		}

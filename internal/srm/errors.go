@@ -1,0 +1,18 @@
+package srm
+
+import "errors"
+
+// Typed SRM errors, so callers (and the chaos test suite) can assert on
+// failure kinds with errors.Is instead of matching message strings.
+// Load failures underneath Launch/Swap/Unswap wrap the ck error, so
+// errors.Is also reaches ck.ErrInvalidID and friends.
+var (
+	// ErrAlreadyLaunched reports a Launch under a name already in use.
+	ErrAlreadyLaunched = errors.New("srm: kernel already launched")
+	// ErrUnknownKernel reports an operation on a name never launched.
+	ErrUnknownKernel = errors.New("srm: unknown kernel")
+	// ErrNoCapacity reports an exhausted physical resource (page groups).
+	ErrNoCapacity = errors.New("srm: out of page groups")
+	// ErrNotSwapped reports an Unswap of a kernel that is still loaded.
+	ErrNotSwapped = errors.New("srm: kernel not swapped")
+)

@@ -119,7 +119,7 @@ func Start(k *ck.Kernel, mpm *hw.MPM, main func(s *SRM, e *hw.Exec)) (*SRM, erro
 // loading these objects into the Cache Kernel").
 func (s *SRM) Launch(e *hw.Exec, name string, opts LaunchOpts, main func(ak *aklib.AppKernel, e *hw.Exec)) (*Launched, error) {
 	if _, dup := s.launched[name]; dup {
-		return nil, fmt.Errorf("srm: kernel %q already launched", name)
+		return nil, fmt.Errorf("%w: %q", ErrAlreadyLaunched, name)
 	}
 	k := s.CK
 	ak := aklib.NewAppKernel(name, k, s.MPM)
@@ -137,7 +137,7 @@ func (s *SRM) Launch(e *hw.Exec, name string, opts LaunchOpts, main func(ak *akl
 	for i := 0; i < opts.Groups; i++ {
 		g, ok := s.groups.Alloc()
 		if !ok {
-			return nil, fmt.Errorf("srm: out of page groups")
+			return nil, ErrNoCapacity
 		}
 		l.groups = append(l.groups, g)
 		if err := k.SetKernelMemoryAccess(e, kid, g, 1, true, true); err != nil {
@@ -190,7 +190,7 @@ func (s *SRM) Launch(e *hw.Exec, name string, opts LaunchOpts, main func(ak *akl
 func (s *SRM) Swap(e *hw.Exec, name string) error {
 	l := s.launched[name]
 	if l == nil {
-		return fmt.Errorf("srm: unknown kernel %q", name)
+		return fmt.Errorf("%w: %q", ErrUnknownKernel, name)
 	}
 	k := s.CK
 	if l.Main != nil && l.Main.Loaded {
@@ -216,10 +216,10 @@ func (s *SRM) Swap(e *hw.Exec, name string) error {
 func (s *SRM) Unswap(e *hw.Exec, name string) error {
 	l := s.launched[name]
 	if l == nil {
-		return fmt.Errorf("srm: unknown kernel %q", name)
+		return fmt.Errorf("%w: %q", ErrUnknownKernel, name)
 	}
 	if l.KID != 0 {
-		return fmt.Errorf("srm: kernel %q not swapped", name)
+		return fmt.Errorf("%w: %q", ErrNotSwapped, name)
 	}
 	k := s.CK
 	ak := l.AK

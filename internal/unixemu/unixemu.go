@@ -113,6 +113,9 @@ type Unix struct {
 	SwapsIn     uint64
 	Segvs       uint64
 	Reschedules uint64
+	// Restarts counts processes rerun from their program start after a
+	// Cache Kernel crash destroyed their running execution context.
+	Restarts uint64
 }
 
 type sleeper struct {
@@ -137,7 +140,57 @@ func New(ak *aklib.AppKernel, cfg Config) *Unix {
 	}
 	ak.OnTrap = u.syscall
 	ak.OnFault = u.fault
+	ak.OnRecover = u.Recover
 	return u
+}
+
+// Recover rebuilds the emulator's Cache Kernel state after a
+// crash-reboot of the MPM's instance. The SRM runs it (via the
+// application kernel's OnRecover hook) on a fresh thread in the
+// emulator's own space once the kernel object and space are reloaded.
+//
+// The emulator is the backing store of the caching model: pids, program
+// closures, segment contents and the RAM disk all survived in emulator
+// memory. Only the cached descriptors died, so recovery is re-loading:
+// a fresh address space per live process, thread reloads for processes
+// that were parked at the crash, and a rerun from the program start for
+// processes whose execution context was running on a CPU when the crash
+// hit (register state is unrecoverable; the program is not).
+func (u *Unix) Recover(e *hw.Exec) {
+	// Deferred space unloads refer to identifiers that died with the
+	// crash; dropping the queue is the unload.
+	u.deadSpaces = nil
+	// The scheduler thread was parked in WaitSignal (reloading resumes
+	// it spuriously and its loop re-arms the alarm under the fresh
+	// identifier) or was killed on a CPU (revive reruns the loop).
+	if u.schedThread != nil {
+		u.schedThread.MarkUnloaded()
+		u.schedThread.Revive()
+		u.schedThread.SpaceID = u.AK.SpaceID
+		_ = u.schedThread.Load(e, false)
+	}
+	for _, p := range u.sortedProcs() {
+		if p.state == procZombie {
+			continue
+		}
+		p.thread.MarkUnloaded()
+		if p.state == procSleeping {
+			// A sleeper stays unloaded until its deadline; marking it
+			// swapped routes its wakeup through swapIn, which loads the
+			// fresh space its reload needs.
+			p.swapped = true
+			continue
+		}
+		if p.thread.Exec.Finished() && p.thread.Revive() {
+			u.Restarts++
+		}
+		if err := u.swapIn(e, p); err != nil {
+			continue
+		}
+		if err := p.thread.Load(e, false); err != nil {
+			continue
+		}
+	}
 }
 
 // RegisterProgram installs a named program (the emulator's "file system
