@@ -139,6 +139,25 @@ func (ak *AppKernel) SpaceManager(sid ck.ObjID) *SegmentManager { return ak.spac
 // Cache Kernel identifier.
 func (ak *AppKernel) ThreadByID(tid ck.ObjID) *Thread { return ak.threadsByID[tid] }
 
+// LoadedThreads returns the kernel's master thread records currently
+// registered under a Cache Kernel identifier, sorted by identifier. It
+// is the application-kernel side of the cache-coherence oracle: every
+// entry claims a loaded descriptor (modulo threads whose execution
+// already finished, which the Cache Kernel reclaims without writeback).
+func (ak *AppKernel) LoadedThreads() []*Thread {
+	ths := make([]*Thread, 0, len(ak.threadsByID))
+	//ckvet:allow detmap values are collected then sorted by TID before use
+	for _, th := range ak.threadsByID {
+		ths = append(ths, th)
+	}
+	for i := 1; i < len(ths); i++ {
+		for j := i; j > 0 && ths[j].TID < ths[j-1].TID; j-- {
+			ths[j], ths[j-1] = ths[j-1], ths[j]
+		}
+	}
+	return ths
+}
+
 // handleTrap is installed as the Cache Kernel trap handler.
 func (ak *AppKernel) handleTrap(e *hw.Exec, thread ck.ObjID, no uint32, args []uint32) (uint32, uint32) {
 	if ak.OnTrap != nil {

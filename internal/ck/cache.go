@@ -83,6 +83,18 @@ func (c *objCache[T]) at(idx int32) T {
 	return c.slots[idx].obj
 }
 
+// peek returns the object in slot idx if the slot is in use, without a
+// generation check. Unlike at it tolerates free (and out-of-range)
+// slots, for callers chasing dependency records that may outlive the
+// object they name.
+func (c *objCache[T]) peek(idx int32) (T, bool) {
+	var zero T
+	if idx < 0 || int(idx) >= len(c.slots) || !c.slots[idx].inUse {
+		return zero, false
+	}
+	return c.slots[idx].obj, true
+}
+
 // release frees slot idx for reuse.
 func (c *objCache[T]) release(idx int32) {
 	s := &c.slots[idx]

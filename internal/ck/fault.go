@@ -61,7 +61,13 @@ func (k *Kernel) AccessError(e *hw.Exec, va uint32, write bool, f hw.Fault) {
 		// descriptor and end the execution.
 		if th != nil {
 			if _, ok := k.threads.get(th.slot, th.id.gen()); ok {
-				k.reclaimThread(e, th, false, true)
+				func() {
+					// Mutates across charge points outside the trap
+					// bracket: count the reclaim in flight.
+					k.inCalls++
+					defer func() { k.inCalls-- }()
+					k.reclaimThread(e, th, false, true)
+				}()
 			}
 		}
 		e.Exit()

@@ -66,6 +66,14 @@ type Kernel struct {
 	sched         *scheduler
 	rtlbs         []*rtlb
 
+	// inCalls counts Cache Kernel operations currently in flight on any
+	// processor. Kernel calls yield at every cycle charge, so another
+	// execution (or an external observer such as the simulation harness)
+	// can run while a call is parked mid-mutation; the structural
+	// invariants only hold between calls, and CheckInvariants uses this
+	// counter to refuse to judge intermediate states.
+	inCalls int
+
 	// syscalls maps user-visible Cache Kernel call numbers (used by
 	// code that is not linked against the Go API) to handlers.
 	syscalls map[uint32]func(e *hw.Exec, args []uint32) (uint32, uint32)
@@ -138,6 +146,7 @@ func New(mpm *hw.MPM, cfg Config) (*Kernel, error) {
 func (k *Kernel) enter(e *hw.Exec) hw.Mode {
 	prev := e.Mode
 	e.Mode = hw.ModeSupervisor
+	k.inCalls++
 	e.ChargeNoIntr(hw.CostTrapEntry)
 	return prev
 }
@@ -146,6 +155,10 @@ func (k *Kernel) enter(e *hw.Exec) hw.Mode {
 // Every Cache Kernel operation funnels through here, so builds tagged
 // ckinvariants verify the full dependency-model state on each return.
 func (k *Kernel) exit(e *hw.Exec, prev hw.Mode) {
+	// Leave the call before checking: a solo call still self-validates,
+	// while calls parked mid-mutation on other processors suppress the
+	// check (their intermediate states are legitimate — see CheckInvariants).
+	k.inCalls--
 	if invariantsEnabled {
 		if err := k.CheckInvariants(); err != nil {
 			panic("ckinvariants: " + err.Error())
@@ -342,6 +355,10 @@ func (k *Kernel) TimerTick(c *hw.CPU) {
 //
 //ckvet:allow chargepath the exiting context is gone; reclaim charges on the reclaim path and dispatchNext charges the next thread
 func (k *Kernel) Exited(e *hw.Exec) {
+	// Not a trapped call, but the reclaim below mutates across charge
+	// points all the same: count it in flight.
+	k.inCalls++
+	defer func() { k.inCalls-- }()
 	cpu := e.CPU
 	if th := k.threadOf(e); th != nil {
 		if _, ok := k.threads.get(th.slot, th.id.gen()); ok {
@@ -349,7 +366,11 @@ func (k *Kernel) Exited(e *hw.Exec) {
 		}
 	}
 	e.CPU = nil
-	if cpu != nil {
+	// The hardware freed the CPU before calling this hook, and the
+	// reclaim above charges cycles (signal-mapping flushes) — yield
+	// points at which another processor's scheduler may dispatch onto
+	// the freed CPU. Only fill it if it is still idle.
+	if cpu != nil && cpu.Cur == nil {
 		k.sched.dispatchNext(cpu)
 	}
 }

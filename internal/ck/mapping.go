@@ -263,7 +263,7 @@ func (k *Kernel) unloadMappingRecord(e *hw.Exec, pvIdx int32, writeback, keepSlo
 	})
 	for _, idx := range sigIdxs {
 		rec := k.pm.rec(idx)
-		if to := k.threads.at(int32(rec.dep)); to != nil {
+		if to, ok := k.threads.peek(int32(rec.dep)); ok {
 			delete(to.sigRecords, idx)
 			st.SignalThread = to.id
 		}

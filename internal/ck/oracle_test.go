@@ -1,0 +1,229 @@
+package ck
+
+// Table-driven eviction/writeback/reload tests: one case per descriptor
+// kind (kernel, space, thread, mapping). Each case fills a deliberately
+// small cache until the Cache Kernel must evict, asserts the victim's
+// state reached the owning kernel's writeback channel, reloads the
+// descriptor from exactly that written-back state, and checks the
+// round trip — new identifier, same behavior (the caching model's
+// load/writeback contract, paper §2.3).
+
+import (
+	"testing"
+
+	"vpp/internal/hw"
+)
+
+func TestDescriptorEvictionWritebackReload(t *testing.T) {
+	cases := []struct {
+		kind string
+		cfg  Config
+		hw   func(*hw.Config)
+		body func(t *testing.T, env *testEnv, e *hw.Exec)
+	}{
+		{
+			kind: "kernel",
+			cfg:  Config{KernelSlots: 2}, // srm + one app kernel
+			body: func(t *testing.T, env *testEnv, e *hw.Exec) {
+				k := env.k
+				attrs := KernelAttrs{Name: "alpha", Wb: env.wb}
+				a, err := k.LoadKernel(e, attrs)
+				if err != nil {
+					t.Fatalf("LoadKernel alpha: %v", err)
+				}
+				// A second kernel overflows the cache and evicts alpha.
+				if _, err := k.LoadKernel(e, KernelAttrs{Name: "beta", Wb: env.wb}); err != nil {
+					t.Fatalf("LoadKernel beta: %v", err)
+				}
+				if len(env.wb.kernels) != 1 || env.wb.kernels[0] != a {
+					t.Fatalf("kernel writebacks = %v, want [%v]", env.wb.kernels, a)
+				}
+				if _, ok := k.lookupKernel(a); ok {
+					t.Fatal("evicted kernel still loaded")
+				}
+				// Reload from the written-back attrs: a fresh identifier
+				// (identities never survive reload), but a live, usable
+				// descriptor.
+				a2, err := k.LoadKernel(e, attrs)
+				if err != nil {
+					t.Fatalf("reload alpha: %v", err)
+				}
+				if a2 == a {
+					t.Fatal("reloaded kernel reused its old identifier")
+				}
+				if err := k.SetKernelMaxPriority(e, a2, 15); err != nil {
+					t.Fatalf("SetKernelMaxPriority on reloaded kernel: %v", err)
+				}
+			},
+		},
+		{
+			kind: "space",
+			cfg:  Config{SpaceSlots: 2}, // boot space + one
+			body: func(t *testing.T, env *testEnv, e *hw.Exec) {
+				k := env.k
+				s1 := env.mustLoadSpace(e, false)
+				specs := []MappingSpec{
+					{VA: 0x4000_0000, PFN: env.frame(), Writable: true, Cachable: true},
+					{VA: 0x4000_1000, PFN: env.frame(), Cachable: true},
+					{VA: 0x4000_2000, PFN: env.frame(), Writable: true},
+				}
+				for _, sp := range specs {
+					env.mustMap(e, s1, sp)
+				}
+				// The eviction victim cannot be the caller's space, so
+				// loading a second space deterministically evicts s1 —
+				// mappings written back first, then the space (§4.2).
+				s2 := env.mustLoadSpace(e, false)
+				if got := env.wb.spaces; len(got) != 1 || got[0] != s1 {
+					t.Fatalf("space writebacks = %v, want [%v]", got, s1)
+				}
+				if len(env.wb.mappings) != len(specs) {
+					t.Fatalf("mapping writebacks = %d, want %d", len(env.wb.mappings), len(specs))
+				}
+				for _, ev := range env.wb.order {
+					if ev == "space" {
+						break
+					}
+					if ev != "mapping" {
+						t.Fatalf("writeback order %v: %q before the space", env.wb.order, ev)
+					}
+				}
+				// Reload: new space, repopulated from the written-back
+				// mapping states.
+				if err := k.UnloadSpace(e, s2); err != nil {
+					t.Fatalf("UnloadSpace s2: %v", err)
+				}
+				s3 := env.mustLoadSpace(e, false)
+				if s3 == s1 {
+					t.Fatal("reloaded space reused its old identifier")
+				}
+				for _, st := range env.wb.mappings {
+					env.mustMap(e, s3, MappingSpec{
+						VA: st.VA, PFN: st.PFN,
+						Writable: st.Writable, Cachable: true,
+					})
+				}
+				for _, sp := range specs {
+					got, ok := k.MappingInfo(s3, sp.VA)
+					if !ok {
+						t.Fatalf("mapping %#x missing after reload", sp.VA)
+					}
+					if got.PFN != sp.PFN || got.Writable != sp.Writable {
+						t.Fatalf("mapping %#x reloaded as %+v, want pfn %#x writable %v",
+							sp.VA, got, sp.PFN, sp.Writable)
+					}
+				}
+			},
+		},
+		{
+			kind: "thread",
+			cfg:  Config{ThreadSlots: 2}, // boot thread + one
+			body: func(t *testing.T, env *testEnv, e *hw.Exec) {
+				k := env.k
+				var phase []string
+				t1 := env.spawnThread(e, env.boot.Space, "worker", 30, func(we *hw.Exec) {
+					phase = append(phase, "started")
+					if _, err := k.WaitSignal(we); err != nil {
+						t.Errorf("WaitSignal: %v", err)
+						return
+					}
+					phase = append(phase, "woke")
+				})
+				// Let the worker run until it blocks in WaitSignal.
+				e.Charge(hw.CyclesFromMicros(2000))
+				if len(phase) != 1 {
+					t.Fatalf("worker did not block; phase=%v", phase)
+				}
+				// Cache pressure: the victim search skips the caller, so
+				// loading one more thread evicts the blocked worker.
+				done := false
+				env.spawnThread(e, env.boot.Space, "filler", 10, func(we *hw.Exec) {
+					we.Charge(hw.CostInstr)
+					done = true
+				})
+				if got := env.wb.threads; len(got) != 1 || got[0] != t1 {
+					t.Fatalf("thread writebacks = %v, want [%v]", got, t1)
+				}
+				st := env.wb.thStates[0]
+				if st.Priority != 30 || st.Exec == nil {
+					t.Fatalf("written-back state = %+v, want priority 30 with exec", st)
+				}
+				e.Charge(hw.CyclesFromMicros(2000))
+				if !done {
+					t.Fatal("filler thread did not run")
+				}
+				// Reload from the written-back state: the execution
+				// context resumes where it parked, under a new identity.
+				t2, err := k.LoadThread(e, env.boot.Space, st, false)
+				if err != nil {
+					t.Fatalf("reload thread: %v", err)
+				}
+				if t2 == t1 {
+					t.Fatal("reloaded thread reused its old identifier")
+				}
+				if err := k.PostSignal(e, t2, 0x1000); err != nil {
+					t.Fatalf("PostSignal: %v", err)
+				}
+				e.Charge(hw.CyclesFromMicros(2000))
+				if len(phase) != 2 || phase[1] != "woke" {
+					t.Fatalf("phase = %v, want [started woke]", phase)
+				}
+			},
+		},
+		{
+			kind: "mapping",
+			cfg:  Config{MappingSlots: 4, PMapBuckets: 8},
+			body: func(t *testing.T, env *testEnv, e *hw.Exec) {
+				k := env.k
+				sid := env.mustLoadSpace(e, false)
+				specs := make([]MappingSpec, 5)
+				for i := range specs {
+					specs[i] = MappingSpec{
+						VA:       0x5000_0000 + uint32(i)*hw.PageSize,
+						PFN:      env.frame(),
+						Writable: i%2 == 0,
+						Cachable: true,
+					}
+					env.mustMap(e, sid, specs[i])
+				}
+				// Five loads into four slots: at least one writeback.
+				if len(env.wb.mappings) == 0 {
+					t.Fatal("no mapping writeback under cache pressure")
+				}
+				st := env.wb.mappings[0]
+				if _, ok := k.MappingInfo(sid, st.VA); ok {
+					t.Fatalf("evicted mapping %#x still present", st.VA)
+				}
+				// Reload the evicted mapping from its written-back state
+				// (evicting another — the cache stays at capacity).
+				env.mustMap(e, sid, MappingSpec{
+					VA: st.VA, PFN: st.PFN,
+					Writable: st.Writable, Cachable: true,
+				})
+				got, ok := k.MappingInfo(sid, st.VA)
+				if !ok {
+					t.Fatalf("mapping %#x missing after reload", st.VA)
+				}
+				if got.PFN != st.PFN || got.Writable != st.Writable {
+					t.Fatalf("mapping %#x reloaded as %+v, want %+v", st.VA, got, st)
+				}
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.kind, func(t *testing.T) {
+			hwCfg := hw.DefaultConfig()
+			if tc.hw != nil {
+				tc.hw(&hwCfg)
+			}
+			env := newEnvOpts(t, hwCfg, tc.cfg, nil, func(env *testEnv, e *hw.Exec) {
+				tc.body(t, env, e)
+				if err := env.k.CheckInvariants(); err != nil {
+					t.Errorf("invariants after %s cycle: %v", tc.kind, err)
+				}
+			})
+			env.run()
+		})
+	}
+}

@@ -250,7 +250,12 @@ func (s *scheduler) block(e *hw.Exec, t *ThreadObj) {
 	if cpu != nil {
 		s.dispatchNext(cpu)
 	}
+	// A blocked call rests at a consistent point: leave it (for the
+	// in-flight accounting CheckInvariants keys on) while parked, or a
+	// thread sleeping in wait-signal would suppress checking forever.
+	s.k.inCalls--
 	e.Ctx().Park()
+	s.k.inCalls++
 }
 
 // blockUnloaded releases the CPU of an execution whose thread descriptor
@@ -265,7 +270,10 @@ func (s *scheduler) blockUnloaded(e *hw.Exec) {
 	if cpu != nil {
 		s.dispatchNext(cpu)
 	}
+	// See block: the unloaded thread's call is consistent while parked.
+	s.k.inCalls--
 	e.Ctx().Park()
+	s.k.inCalls++
 }
 
 // forceOffCPU removes a running thread from its CPU from another

@@ -1,0 +1,121 @@
+package ck
+
+// Snapshot support for external correctness oracles (internal/simtest):
+// a charge-free, read-only view of every loaded descriptor, in
+// deterministic LRU order. Like CheckInvariants it models the
+// inspection port a development Cache Kernel would expose over the
+// debugger channel, so it takes no Exec and charges nothing.
+
+// String names a thread scheduling state for snapshots and diagnostics.
+func (s threadState) String() string {
+	switch s {
+	case threadReady:
+		return "ready"
+	case threadRunning:
+		return "running"
+	case threadWaiting:
+		return "waiting"
+	case threadSuspended:
+		return "suspended"
+	}
+	return "invalid"
+}
+
+// KernelSnap is the snapshot of one loaded kernel descriptor.
+type KernelSnap struct {
+	ID     ObjID
+	Name   string
+	Locked bool
+	// Spaces and Threads count this kernel's loaded dependents.
+	Spaces  int
+	Threads int
+}
+
+// SpaceSnap is the snapshot of one loaded space descriptor.
+type SpaceSnap struct {
+	ID       ObjID
+	Owner    ObjID
+	Mappings int
+	Threads  int
+	Locked   bool
+}
+
+// ThreadSnap is the snapshot of one loaded thread descriptor.
+type ThreadSnap struct {
+	ID       ObjID
+	Owner    ObjID
+	Space    ObjID
+	Priority int
+	State    string
+	// ExecName and ExecFinished describe the machine execution context
+	// bound to the descriptor (the persistent coroutine).
+	ExecName     string
+	ExecFinished bool
+	// SigRecords counts signal-delivery dependency records naming this
+	// thread; SigQueued counts queued address-valued signals.
+	SigRecords int
+	SigQueued  int
+	Locked     bool
+}
+
+// Snap is a consistent view of one Cache Kernel instance's descriptor
+// caches at a quiescent point.
+type Snap struct {
+	Epoch   uint64
+	Kernels []KernelSnap
+	Spaces  []SpaceSnap
+	Threads []ThreadSnap
+	// MappingsLoaded totals loaded physical-to-virtual records across
+	// all loaded spaces (signal registrations and deferred-copy records
+	// are not mappings and are excluded).
+	MappingsLoaded int
+}
+
+// Snapshot captures every loaded descriptor. The caller must ensure the
+// instance is quiescent enough for the answer to be meaningful (no
+// descriptor operation mid-flight on another CPU); the capture itself
+// performs no simulated work and is safe at any host point.
+func (k *Kernel) Snapshot() Snap {
+	var s Snap
+	s.Epoch = k.Epoch
+	k.kernels.forEach(func(idx int32, ko *KernelObj) bool {
+		s.Kernels = append(s.Kernels, KernelSnap{
+			ID:      ko.id,
+			Name:    ko.attrs.Name,
+			Locked:  k.kernels.lockedSlot(idx),
+			Spaces:  len(ko.spaces),
+			Threads: len(ko.threads),
+		})
+		return true
+	})
+	k.spaces.forEach(func(idx int32, so *SpaceObj) bool {
+		s.Spaces = append(s.Spaces, SpaceSnap{
+			ID:       so.id,
+			Owner:    so.owner.id,
+			Mappings: so.mappings,
+			Threads:  len(so.threads),
+			Locked:   k.spaces.lockedSlot(idx),
+		})
+		s.MappingsLoaded += so.mappings
+		return true
+	})
+	k.threads.forEach(func(idx int32, to *ThreadObj) bool {
+		ts := ThreadSnap{
+			ID:         to.id,
+			Owner:      to.owner.id,
+			Space:      to.space.id,
+			Priority:   to.prio,
+			State:      to.state.String(),
+			SigRecords: len(to.sigRecords),
+			SigQueued:  len(to.sigQueue),
+			Locked:     k.threads.lockedSlot(idx),
+		}
+		if to.exec != nil {
+			ts.ExecName = to.exec.Name
+			ts.ExecFinished = to.exec.Finished()
+		}
+		s.Threads = append(s.Threads, ts)
+		return true
+	})
+	return s
+}

@@ -54,7 +54,14 @@ type Node struct {
 	replyPage   uint32
 	replyData   []byte
 	deferredReq []byte
-	stop        bool
+	faultBusy   bool
+	faultPage   uint32
+	// pendingInval records that a peer invalidate for replyPage was
+	// acknowledged while our own request was in flight: the reply on
+	// the wire predates the invalidate, so the waiter must discard it
+	// and refault rather than install a stale copy.
+	pendingInval bool
+	stop         bool
 
 	// Stats.
 	Fetches, Upgrades, Invalidations, Serves uint64
@@ -130,8 +137,25 @@ func (n *Node) unmapPage(e *hw.Exec, page uint32) {
 	_, _ = n.AK.CK.UnloadMapping(e, n.AK.SpaceID, n.Base+page*hw.PageSize)
 }
 
-// handleFault resolves a miss (or write upgrade) through the peer.
+// handleFault resolves a miss (or write upgrade) through the peer. A
+// request the server deferred while our own was outstanding is served
+// only after the fault has fully resolved (state updated, mapping
+// reloaded): applying a deferred invalidate between the reply and the
+// reinstall would let the reinstall resurrect a stale shared copy.
 func (n *Node) handleFault(e *hw.Exec, va uint32, write bool) bool {
+	n.faultBusy = true
+	n.faultPage = (va - n.Base) / hw.PageSize
+	ok := n.resolveFault(e, va, write)
+	n.faultBusy = false
+	if n.deferredReq != nil && !n.replyWait {
+		d := n.deferredReq
+		n.deferredReq = nil
+		n.handleMsg(e, d)
+	}
+	return ok
+}
+
+func (n *Node) resolveFault(e *hw.Exec, va uint32, write bool) bool {
 	page := (va - n.Base) / hw.PageSize
 	switch n.state[page] {
 	case pageOwned:
@@ -147,6 +171,16 @@ func (n *Node) handleFault(e *hw.Exec, va uint32, write bool) bool {
 		if !n.rpc(e, msgInvalidate, page, nil) {
 			return false
 		}
+		if n.pendingInval {
+			// Crossing upgrades: the peer invalidated our copy while our
+			// own invalidate was in flight. Node 0 wins the tie and
+			// completes the upgrade; node 1 concedes, leaving the page
+			// invalid so the retried write refaults into a fetch.
+			n.pendingInval = false
+			if n.ID != 0 {
+				return true
+			}
+		}
 		n.state[page] = pageOwned
 		n.unmapPage(e, page)
 		return n.mapPage(e, page, true) == nil
@@ -158,6 +192,14 @@ func (n *Node) handleFault(e *hw.Exec, va uint32, write bool) bool {
 		}
 		if !n.rpc(e, op, page, nil) {
 			return false
+		}
+		if n.pendingInval {
+			// The owner upgraded or re-fetched while our reply was on
+			// the wire: the data is stale. Drop it and refault — the
+			// retried access fetches the fresh copy.
+			n.pendingInval = false
+			n.state[page] = pageInvalid
+			return true
 		}
 		// Install the received page contents.
 		phys := e.MPM.Machine.Phys
@@ -180,6 +222,7 @@ func (n *Node) rpc(e *hw.Exec, op byte, page uint32, body []byte) bool {
 	n.replyWait = true
 	n.replyPage = page
 	n.replyData = nil
+	n.pendingInval = false
 	// Requests are idempotent (the server re-serves the same page and a
 	// duplicate reply for a page we no longer wait on is ignored), so a
 	// lost request or reply is repaired by retransmission. A healthy
@@ -244,6 +287,21 @@ func (n *Node) handleMsg(e *hw.Exec, msg []byte) {
 			n.replyWait = false
 		}
 	case msgInvalidate:
+		// An invalidate crossing our own outstanding request is applied
+		// immediately (immediate acks are what keep crossing upgrades
+		// from deadlocking), but the reply we are waiting on was
+		// generated before this invalidate — mark it poisoned so the
+		// waiter discards it and refaults. An invalidate arriving after
+		// our reply was consumed, while the fault handler is still
+		// reinstalling state and mapping, must instead wait: applied
+		// now, the reinstall would resurrect the stale copy.
+		if n.faultBusy && !n.replyWait && page == n.faultPage {
+			n.deferredReq = append([]byte(nil), msg...)
+			return
+		}
+		if n.replyWait && n.replyPage == page {
+			n.pendingInval = true
+		}
 		n.Invalidations++
 		n.state[page] = pageInvalid
 		n.unmapPage(e, page)
@@ -251,15 +309,21 @@ func (n *Node) handleMsg(e *hw.Exec, msg []byte) {
 	case msgFetchRead, msgFetchWrite:
 		// Crossing-request tie-break: if this node also has a request
 		// outstanding for the same page, node 1 defers until its own
-		// completes; node 0 serves immediately.
-		if n.replyWait && n.replyPage == page && n.ID != 0 {
+		// completes; node 0 serves immediately. A fetch for a page this
+		// node is mid-fault on (reply consumed, state and mapping not
+		// yet reinstalled) is likewise deferred: serving it early would
+		// downgrade the local copy under the fault handler's feet.
+		if (n.replyWait && n.replyPage == page && n.ID != 0) ||
+			(n.faultBusy && !n.replyWait && page == n.faultPage) {
 			n.deferredReq = append([]byte(nil), msg...)
 			return
 		}
 		n.servePage(e, op, page)
 	}
-	// Serve a deferred request once our own has completed.
-	if n.deferredReq != nil && !n.replyWait {
+	// Serve a deferred request once our own has completed — unless a
+	// fault handler is mid-resolution, in which case it serves the
+	// deferral itself after reinstalling its mapping.
+	if n.deferredReq != nil && !n.replyWait && !n.faultBusy {
 		d := n.deferredReq
 		n.deferredReq = nil
 		n.handleMsg(e, d)

@@ -1,0 +1,20 @@
+//go:build cksimlong
+
+package simtest
+
+import "testing"
+
+// TestSeedSweep runs the first two hundred generated scenarios — the
+// same sweep `cmd/cksim -seeds 200` performs — as a long-form test
+// behind the cksimlong build tag (the nightly job runs 500 via the CLI;
+// this keeps a reproducible slice of it in `go test` form):
+//
+//	go test -tags cksimlong ./internal/simtest/
+func TestSeedSweep(t *testing.T) {
+	for seed := uint64(1); seed <= 200; seed++ {
+		r := RunSeed(seed)
+		if r.Failed() {
+			t.Errorf("seed %d failed:\n%s", seed, r.Fingerprint())
+		}
+	}
+}

@@ -68,9 +68,19 @@ type LaunchOpts struct {
 // Start boots the Cache Kernel with the SRM as the first kernel and runs
 // main as its initial thread once the machine runs.
 func Start(k *ck.Kernel, mpm *hw.MPM, main func(s *SRM, e *hw.Exec)) (*SRM, error) {
+	// Each MPM is its own computer (paper §3); the simulator models the
+	// modules' memories as slices of one physical address range, so this
+	// module's SRM may grant only its own slice — two SRMs handing out
+	// the same frame would silently corrupt each other's kernels.
+	groups := mpm.Machine.Phys.Size() / hw.PageGroupSize
+	per := groups / uint32(len(mpm.Machine.MPMs))
+	lo := uint32(mpm.ID) * per
+	if lo == 0 {
+		lo = 1 // group 0: boot frames, device buffers
+	}
 	s := &SRM{
 		AppKernel: aklib.NewAppKernel("srm", k, mpm),
-		groups:    NewGroupAllocator(mpm.Machine.Phys.Size()),
+		groups:    NewGroupAllocatorRange(lo, uint32(mpm.ID)*per+per),
 		launched:  make(map[string]*Launched),
 	}
 	attrs := s.Attrs()
@@ -273,10 +283,16 @@ type GroupAllocator struct {
 // NewGroupAllocator covers a physical memory of the given byte size,
 // reserving group 0 (low memory: boot frames, device buffers).
 func NewGroupAllocator(physBytes uint32) *GroupAllocator {
-	n := physBytes / hw.PageGroupSize
+	return NewGroupAllocatorRange(1, physBytes/hw.PageGroupSize)
+}
+
+// NewGroupAllocatorRange covers page groups [lo, hi) — the slice of
+// machine memory belonging to one module when several MPMs share the
+// simulated physical address range.
+func NewGroupAllocatorRange(lo, hi uint32) *GroupAllocator {
 	g := &GroupAllocator{}
-	for i := n - 1; i >= 1; i-- {
-		g.free = append(g.free, i)
+	for i := hi; i > lo; i-- {
+		g.free = append(g.free, i-1)
 	}
 	return g
 }
