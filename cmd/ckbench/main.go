@@ -113,7 +113,7 @@ func main() {
 	// not requested, and "all" output stays byte-stable across commits.
 	if want["rec"] {
 		fmt.Printf("=== REC: crash recovery latency (paper §3: all Cache Kernel state is regenerable) ===\n")
-		res, err := exp.RunRecoveryWorkload(nil)
+		res, err := exp.RunRecoveryWorkload(nil, 1)
 		if check(err) {
 			fmt.Println(res)
 			if *jsonOut {

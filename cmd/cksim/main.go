@@ -32,24 +32,25 @@ func main() {
 		replay  = flag.String("replay", "", "re-run a recorded failure file")
 		shrink  = flag.Bool("shrink", false, "on failure, shrink to a minimal scenario")
 		shrinkN = flag.Int("shrinkruns", 60, "re-run budget for -shrink")
+		shards  = flag.Int("shards", 1, "engine shards (results are byte-identical to -shards 1)")
 	)
 	flag.Parse()
 
 	switch {
 	case *replay != "":
-		os.Exit(runReplay(*replay))
+		os.Exit(runReplay(*replay, *shards))
 	case *seeds > 0:
-		os.Exit(runSweep(*start, *seeds, *shrink, *shrinkN))
+		os.Exit(runSweep(*start, *seeds, *shrink, *shrinkN, *shards))
 	case *seed != 0 || flag.Lookup("seed").Value.String() != "0":
-		os.Exit(runOne(*seed, *shrink, *shrinkN))
+		os.Exit(runOne(*seed, *shrink, *shrinkN, *shards))
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
 }
 
-func runOne(seed uint64, shrink bool, shrinkRuns int) int {
-	res := simtest.Run(simtest.Generate(seed), nil)
+func runOne(seed uint64, shrink bool, shrinkRuns, shards int) int {
+	res := simtest.RunSharded(simtest.Generate(seed), nil, shards)
 	fmt.Print(res.Fingerprint())
 	if !res.Failed() {
 		return 0
@@ -63,12 +64,12 @@ func runOne(seed uint64, shrink bool, shrinkRuns int) int {
 	return 1
 }
 
-func runSweep(start uint64, count int, shrink bool, shrinkRuns int) int {
+func runSweep(start uint64, count int, shrink bool, shrinkRuns, shards int) int {
 	failed := 0
 	const maxArtifacts = 3
 	for i := 0; i < count; i++ {
 		s := start + uint64(i)
-		res := simtest.Run(simtest.Generate(s), nil)
+		res := simtest.RunSharded(simtest.Generate(s), nil, shards)
 		sc := &res.Scenario
 		status := "ok"
 		if res.Failed() {
@@ -95,7 +96,7 @@ func runSweep(start uint64, count int, shrink bool, shrinkRuns int) int {
 	return 0
 }
 
-func runReplay(path string) int {
+func runReplay(path string, shards int) int {
 	b, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cksim: %v\n", err)
@@ -106,7 +107,7 @@ func runReplay(path string) int {
 		fmt.Fprintf(os.Stderr, "cksim: %v\n", err)
 		return 2
 	}
-	res := simtest.Run(rep.Scenario, nil)
+	res := simtest.RunSharded(rep.Scenario, nil, shards)
 	fmt.Print(res.Fingerprint())
 	if res.Failed() {
 		fmt.Println("replay: failure reproduced")

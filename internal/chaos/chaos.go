@@ -14,6 +14,7 @@ package chaos
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"vpp/internal/ck"
 	"vpp/internal/hw"
@@ -109,33 +110,50 @@ type Stats struct {
 	WalkErrors          uint64
 }
 
-// Injector evaluates a plan against the hooks it is armed on. All
-// probability draws come from one seeded generator and happen in the
-// virtual engine's serial event order, so verdicts are a pure function
-// of (plan, seed, workload).
+// Injector evaluates a plan against the hooks it is armed on. Each
+// engine shard draws from its own seeded generator (the serial engine
+// is "shard 0", so serial draws are unchanged), and every draw happens
+// in that shard's deterministic event order, so verdicts are a pure
+// function of (plan, seed, workload, topology). Counters are atomic:
+// hooks on different shards may fire concurrently within an epoch.
 type Injector struct {
 	Plan  Plan
 	Stats Stats
 
-	rng *sim.Rand
-	eng *sim.Engine
+	rngs map[*sim.Engine]*sim.Rand
 }
 
 // New builds an injector for the plan.
 func New(plan Plan) *Injector {
-	return &Injector{Plan: plan, rng: sim.NewRand(plan.Seed)}
+	return &Injector{Plan: plan, rngs: make(map[*sim.Engine]*sim.Rand)}
+}
+
+// rngFor returns the engine's fault stream, creating it on first use.
+// Only called while arming (single-threaded); the map is read-only by
+// the time shards run.
+func (in *Injector) rngFor(eng *sim.Engine) *sim.Rand {
+	if r, ok := in.rngs[eng]; ok {
+		return r
+	}
+	seed := in.Plan.Seed
+	if s := uint64(eng.Shard()); s != 0 {
+		seed ^= 0x9E3779B97F4A7C15 * s
+	}
+	r := sim.NewRand(seed)
+	in.rngs[eng] = r
+	return r
 }
 
 // hit reports whether fault f fires for an event at virtual time now,
-// drawing the probability coin if the window is open.
-func (in *Injector) hit(f *Fault, now uint64) bool {
+// drawing the probability coin from rng if the window is open.
+func (in *Injector) hit(f *Fault, now uint64, rng *sim.Rand) bool {
 	if now < f.At || (f.Until != 0 && now >= f.Until) {
 		return false
 	}
 	if f.Prob <= 0 || f.Prob >= 1 {
 		return true
 	}
-	return in.rng.Float64() < f.Prob
+	return rng.Float64() < f.Prob
 }
 
 // has reports whether the plan contains any fault of the given kinds.
@@ -151,11 +169,10 @@ func (in *Injector) has(kinds ...Kind) bool {
 }
 
 // Arm installs the plan's machine- and kernel-level hooks: crash events
-// are scheduled on the virtual clock, and signal/writeback/walk hooks
-// are installed only for fault kinds the plan actually contains, so an
-// empty plan changes nothing.
+// are scheduled on the victim kernel's own shard timeline, and
+// signal/writeback/walk hooks are installed only for fault kinds the
+// plan actually contains, so an empty plan changes nothing.
 func (in *Injector) Arm(m *hw.Machine, kernels ...*ck.Kernel) {
-	in.eng = m.Eng
 	for i := range in.Plan.Faults {
 		f := &in.Plan.Faults[i]
 		if f.Kind != CrashKernel {
@@ -165,24 +182,24 @@ func (in *Injector) Arm(m *hw.Machine, kernels ...*ck.Kernel) {
 			continue
 		}
 		victim := kernels[f.MPM]
-		m.Eng.ScheduleAt(f.At, func() {
-			in.Stats.Crashes++
+		victim.MPM.Shard.ScheduleAt(f.At, func() {
+			atomic.AddUint64(&in.Stats.Crashes, 1)
 			victim.Crash()
 		})
 	}
 	if in.has(WalkError) {
 		for _, mpm := range m.MPMs {
-			mpm.WalkFault = in.walkFault
+			mpm.WalkFault = in.walkFaultOn(in.rngFor(mpm.Shard))
 		}
 	}
 	if in.has(DropSignal, DupSignal) {
 		for _, k := range kernels {
-			k.SignalFault = in.signalFault
+			k.SignalFault = in.signalFaultOn(k.MPM.Shard, in.rngFor(k.MPM.Shard))
 		}
 	}
 	if in.has(CorruptWriteback) {
 		for _, k := range kernels {
-			k.WritebackFault = in.writebackFault
+			k.WritebackFault = in.writebackFaultOn(k.MPM.Shard, in.rngFor(k.MPM.Shard))
 		}
 	}
 }
@@ -192,10 +209,7 @@ func (in *Injector) ArmNIC(n *dev.NIC) {
 	if !in.has(DropFrame, DupFrame, DelayFrame) {
 		return
 	}
-	if in.eng == nil {
-		in.eng = n.MPM.Machine.Eng
-	}
-	n.TxFault = in.frameFault
+	n.TxFault = in.frameFaultOn(n.MPM.Shard, in.rngFor(n.MPM.Shard))
 }
 
 // ArmFiber installs the plan's frame faults on a fiber port.
@@ -203,83 +217,89 @@ func (in *Injector) ArmFiber(p *dev.FiberPort) {
 	if !in.has(DropFrame, DupFrame, DelayFrame) {
 		return
 	}
-	if in.eng == nil {
-		in.eng = p.MPM.Machine.Eng
-	}
-	p.TxFault = in.frameFault
+	p.TxFault = in.frameFaultOn(p.MPM.Shard, in.rngFor(p.MPM.Shard))
 }
 
-func (in *Injector) walkFault(e *hw.Exec, _ uint32) bool {
-	now := e.Now()
-	for i := range in.Plan.Faults {
-		f := &in.Plan.Faults[i]
-		if f.Kind == WalkError && in.hit(f, now) {
-			in.Stats.WalkErrors++
-			return true
+func (in *Injector) walkFaultOn(rng *sim.Rand) func(*hw.Exec, uint32) bool {
+	return func(e *hw.Exec, _ uint32) bool {
+		now := e.Now()
+		for i := range in.Plan.Faults {
+			f := &in.Plan.Faults[i]
+			if f.Kind == WalkError && in.hit(f, now, rng) {
+				atomic.AddUint64(&in.Stats.WalkErrors, 1)
+				return true
+			}
 		}
+		return false
 	}
-	return false
 }
 
-func (in *Injector) signalFault(_ ck.ObjID, _ uint32) ck.SignalVerdict {
-	now := in.eng.Now()
-	var v ck.SignalVerdict
-	for i := range in.Plan.Faults {
-		f := &in.Plan.Faults[i]
-		switch f.Kind {
-		case DropSignal:
-			if !v.Drop && in.hit(f, now) {
-				v.Drop = true
-				in.Stats.SignalsDropped++
-			}
-		case DupSignal:
-			if !v.Dup && in.hit(f, now) {
-				v.Dup = true
-				in.Stats.SignalsDuplicated++
+func (in *Injector) signalFaultOn(eng *sim.Engine, rng *sim.Rand) func(ck.ObjID, uint32) ck.SignalVerdict {
+	return func(_ ck.ObjID, _ uint32) ck.SignalVerdict {
+		now := eng.Now()
+		var v ck.SignalVerdict
+		for i := range in.Plan.Faults {
+			f := &in.Plan.Faults[i]
+			switch f.Kind {
+			case DropSignal:
+				if !v.Drop && in.hit(f, now, rng) {
+					v.Drop = true
+					atomic.AddUint64(&in.Stats.SignalsDropped, 1)
+				}
+			case DupSignal:
+				if !v.Dup && in.hit(f, now, rng) {
+					v.Dup = true
+					atomic.AddUint64(&in.Stats.SignalsDuplicated, 1)
+				}
 			}
 		}
+		return v
 	}
-	return v
 }
 
-func (in *Injector) writebackFault(_ string, _ ck.ObjID) bool {
-	now := in.eng.Now()
-	for i := range in.Plan.Faults {
-		f := &in.Plan.Faults[i]
-		if f.Kind == CorruptWriteback && in.hit(f, now) {
-			in.Stats.WritebacksCorrupted++
-			return true
+func (in *Injector) writebackFaultOn(eng *sim.Engine, rng *sim.Rand) func(string, ck.ObjID) bool {
+	return func(_ string, _ ck.ObjID) bool {
+		now := eng.Now()
+		for i := range in.Plan.Faults {
+			f := &in.Plan.Faults[i]
+			if f.Kind == CorruptWriteback && in.hit(f, now, rng) {
+				atomic.AddUint64(&in.Stats.WritebacksCorrupted, 1)
+				return true
+			}
 		}
+		return false
 	}
-	return false
 }
 
-func (in *Injector) frameFault(_ []byte) dev.FrameFault {
-	now := in.eng.Now()
-	// A lost frame cannot also be duplicated or delayed: drop verdicts
-	// short-circuit, so the stats match what the wire actually does.
-	for i := range in.Plan.Faults {
-		f := &in.Plan.Faults[i]
-		if f.Kind == DropFrame && in.hit(f, now) {
-			in.Stats.FramesDropped++
-			return dev.FrameFault{Drop: true}
-		}
-	}
-	var ff dev.FrameFault
-	for i := range in.Plan.Faults {
-		f := &in.Plan.Faults[i]
-		switch f.Kind {
-		case DupFrame:
-			if !ff.Dup && in.hit(f, now) {
-				ff.Dup = true
-				in.Stats.FramesDuplicated++
-			}
-		case DelayFrame:
-			if in.hit(f, now) {
-				ff.Delay += f.Delay
-				in.Stats.FramesDelayed++
+func (in *Injector) frameFaultOn(eng *sim.Engine, rng *sim.Rand) func([]byte) dev.FrameFault {
+	return func(_ []byte) dev.FrameFault {
+		now := eng.Now()
+		// A lost frame cannot also be duplicated or delayed: drop
+		// verdicts short-circuit, so the stats match what the wire
+		// actually does.
+		for i := range in.Plan.Faults {
+			f := &in.Plan.Faults[i]
+			if f.Kind == DropFrame && in.hit(f, now, rng) {
+				atomic.AddUint64(&in.Stats.FramesDropped, 1)
+				return dev.FrameFault{Drop: true}
 			}
 		}
+		var ff dev.FrameFault
+		for i := range in.Plan.Faults {
+			f := &in.Plan.Faults[i]
+			switch f.Kind {
+			case DupFrame:
+				if !ff.Dup && in.hit(f, now, rng) {
+					ff.Dup = true
+					atomic.AddUint64(&in.Stats.FramesDuplicated, 1)
+				}
+			case DelayFrame:
+				if in.hit(f, now, rng) {
+					ff.Delay += f.Delay
+					atomic.AddUint64(&in.Stats.FramesDelayed, 1)
+				}
+			}
+		}
+		return ff
 	}
-	return ff
 }

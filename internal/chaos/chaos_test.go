@@ -7,6 +7,7 @@ import (
 	"vpp/internal/ck"
 	"vpp/internal/hw"
 	"vpp/internal/hw/dev"
+	"vpp/internal/sim"
 )
 
 // TestEmptyPlanArmsNothing pins the byte-identity contract: arming an
@@ -39,17 +40,18 @@ func TestEmptyPlanArmsNothing(t *testing.T) {
 // TestFaultWindow checks the virtual-time arming window.
 func TestFaultWindow(t *testing.T) {
 	in := New(Plan{})
+	rng := sim.NewRand(0)
 	f := &Fault{Kind: DropFrame, At: 100, Until: 200}
 	for _, c := range []struct {
 		now  uint64
 		want bool
 	}{{99, false}, {100, true}, {199, true}, {200, false}} {
-		if got := in.hit(f, c.now); got != c.want {
+		if got := in.hit(f, c.now, rng); got != c.want {
 			t.Errorf("hit at %d = %v, want %v", c.now, got, c.want)
 		}
 	}
 	open := &Fault{Kind: DropFrame, At: 50}
-	if !in.hit(open, math.MaxUint64) {
+	if !in.hit(open, math.MaxUint64, rng) {
 		t.Error("open-ended window closed")
 	}
 }

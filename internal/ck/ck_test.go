@@ -699,9 +699,11 @@ func TestBlockResumeThread(t *testing.T) {
 	env := newEnv(t, Config{}, func(env *testEnv, e *hw.Exec) {
 		k := env.k
 		n := 0
+		// The worker must outlive several engine slice quanta so that
+		// BlockThread catches it mid-run rather than already exited.
 		tid := env.spawnThread(e, env.boot.Space, "w", 20, func(we *hw.Exec) {
 			for i := 0; i < 10; i++ {
-				we.Charge(2000)
+				we.Charge(50_000)
 				n++
 			}
 		})

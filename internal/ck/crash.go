@@ -24,7 +24,7 @@ func (k *Kernel) Crash() {
 	k.Stats.Crashes++
 	k.Epoch++
 	if k.Trace != nil {
-		k.Trace("crash", k.MPM.Machine.Eng.Now(), fmt.Sprintf("epoch %d", k.Epoch))
+		k.Trace("crash", k.MPM.Shard.Now(), fmt.Sprintf("epoch %d", k.Epoch))
 	}
 	// The reset kills whatever is executing on the MPM's CPUs: the
 	// register files are gone, so those contexts unwind at their next

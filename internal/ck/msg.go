@@ -135,7 +135,7 @@ func (k *Kernel) RaiseDeviceSignal(id ObjID, value uint32) bool {
 	if !ok {
 		return false
 	}
-	k.deliverSignal(to, value, k.MPM.Machine.Eng.Now(), nil)
+	k.deliverSignal(to, value, k.MPM.Shard.Now(), nil)
 	return true
 }
 

@@ -44,7 +44,7 @@ func (k *Kernel) accountUsage(t *ThreadObj, delta uint64) {
 // rollWindow lazily closes an expired accounting window, computing
 // per-CPU consumption percentages against the kernel's allocation.
 func (k *Kernel) rollWindow(ko *KernelObj) {
-	now := k.MPM.Machine.Eng.Now()
+	now := k.MPM.Shard.Now()
 	w := k.Cfg.AccountingWindow
 	if now-ko.windowStart < w {
 		return

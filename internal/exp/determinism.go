@@ -15,12 +15,14 @@ import (
 // step count; trace (optional) observes every coroutine dispatch. The
 // run is fully deterministic — the determinism regression test hashes
 // its schedule trace against a golden generated before the engine
-// optimization.
-func RunDeterminismWorkload(trace func(name string, at uint64)) (finalClock, steps uint64, err error) {
+// optimization, and asserts the sharded engine (shards > 1 spreads the
+// two MPMs over per-shard goroutines) reproduces it byte-identically.
+func RunDeterminismWorkload(trace func(name string, at uint64), shards int) (finalClock, steps uint64, err error) {
 	cfg := hw.DefaultConfig()
 	cfg.MPMs = 2
+	cfg.Shards = shards
 	m := hw.NewMachine(cfg)
-	m.Eng.TraceDispatch = trace
+	m.SetTraceDispatch(trace)
 
 	errs := make([]error, cfg.MPMs)
 	for i, mpm := range m.MPMs {
@@ -28,7 +30,7 @@ func RunDeterminismWorkload(trace func(name string, at uint64)) (finalClock, ste
 			return 0, 0, err
 		}
 	}
-	m.Eng.MaxSteps = 50_000_000
+	m.SetMaxSteps(50_000_000)
 	if err := m.Run(math.MaxUint64); err != nil {
 		return 0, 0, err
 	}
@@ -37,7 +39,7 @@ func RunDeterminismWorkload(trace func(name string, at uint64)) (finalClock, ste
 			return 0, 0, e
 		}
 	}
-	return m.Eng.Now(), m.Eng.Steps(), nil
+	return m.Now(), m.Steps(), nil
 }
 
 func bootDeterminismKernel(idx int, mpm *hw.MPM, bodyErr *error) error {

@@ -6,6 +6,7 @@ import (
 	"hash/fnv"
 	"os"
 	"path/filepath"
+	"runtime"
 	"testing"
 )
 
@@ -34,20 +35,35 @@ func TestBootEchoTraceGolden(t *testing.T) {
 	checkScheduleGolden(t, "boot_echo_trace.golden", RunBootEchoWorkload)
 }
 
-// checkScheduleGolden runs the workload twice, asserts the runs are
-// identical, and compares their fingerprint against the golden file.
-func checkScheduleGolden(t *testing.T, name string, workload func(func(string, uint64)) (uint64, uint64, error)) {
+// shardedWorkload is the shape every golden workload exports: it runs
+// the scenario with the requested shard count (1 = serial engine) and
+// reports the final clock and scheduling step count.
+type shardedWorkload func(trace func(string, uint64), shards int) (uint64, uint64, error)
+
+// checkScheduleGolden runs the workload serially twice and sharded
+// once, asserts all three runs are byte-identical, and compares their
+// fingerprint against the golden file. One golden therefore pins both
+// determinism (same inputs, same schedule) and shard invariance (the
+// parallel engine replays the serial schedule exactly).
+func checkScheduleGolden(t *testing.T, name string, workload shardedWorkload) {
 	t.Helper()
-	first, err := scheduleFingerprint(workload)
+	first, err := scheduleFingerprint(workload, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	second, err := scheduleFingerprint(workload)
+	second, err := scheduleFingerprint(workload, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if first != second {
 		t.Fatalf("back-to-back runs diverge:\n%s\nvs\n%s", first, second)
+	}
+	sharded, err := scheduleFingerprint(workload, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sharded != first {
+		t.Fatalf("sharded run diverges from serial:\nserial:\n%s\nsharded:\n%s", first, sharded)
 	}
 
 	golden := filepath.Join("testdata", name)
@@ -71,7 +87,7 @@ func checkScheduleGolden(t *testing.T, name string, workload func(func(string, u
 // scheduleFingerprint executes a workload and renders its schedule
 // fingerprint: the FNV-1a hash over every (coroutine-name,
 // dispatch-time) pair plus the dispatch, step and final-clock counts.
-func scheduleFingerprint(workload func(func(string, uint64)) (uint64, uint64, error)) (string, error) {
+func scheduleFingerprint(workload shardedWorkload, shards int) (string, error) {
 	h := fnv.New64a()
 	var dispatches uint64
 	trace := func(name string, at uint64) {
@@ -83,10 +99,38 @@ func scheduleFingerprint(workload func(func(string, uint64)) (uint64, uint64, er
 		h.Write([]byte(name))
 		h.Write(buf[:])
 	}
-	cycles, steps, err := workload(trace)
+	cycles, steps, err := workload(trace, shards)
 	if err != nil {
 		return "", err
 	}
 	return fmt.Sprintf("fnv64a %016x\ndispatches %d\nsteps %d\nfinal_clock %d\n",
 		h.Sum64(), dispatches, steps, cycles), nil
+}
+
+// TestShardInvarianceAcrossGOMAXPROCS re-runs the mixed workload under
+// deliberately skewed host parallelism: Shards=1 vs Shards=4, each with
+// GOMAXPROCS forced to 1 and then 8. Virtual time must be fully
+// insulated from the host scheduler — every combination must produce
+// the same fingerprint. This is the test that catches any accidental
+// dependence of the epoch barrier or the inbox merge on goroutine
+// wall-clock interleaving.
+func TestShardInvarianceAcrossGOMAXPROCS(t *testing.T) {
+	var want string
+	for _, procs := range []int{1, 8} {
+		for _, shards := range []int{1, 4} {
+			prev := runtime.GOMAXPROCS(procs)
+			got, err := scheduleFingerprint(RunDeterminismWorkload, shards)
+			runtime.GOMAXPROCS(prev)
+			if err != nil {
+				t.Fatalf("GOMAXPROCS=%d shards=%d: %v", procs, shards, err)
+			}
+			if want == "" {
+				want = got
+				continue
+			}
+			if got != want {
+				t.Fatalf("GOMAXPROCS=%d shards=%d diverges:\n%s\nwant:\n%s", procs, shards, got, want)
+			}
+		}
+	}
 }

@@ -16,10 +16,14 @@ import (
 // the final virtual clock and scheduling step count; trace (optional)
 // observes every coroutine dispatch. Together with the mixed workload
 // in RunDeterminismWorkload it pins the boot path and the
-// signal-delivery fast path under the determinism goldens.
-func RunBootEchoWorkload(trace func(name string, at uint64)) (finalClock, steps uint64, err error) {
-	m := hw.NewMachine(hw.DefaultConfig())
-	m.Eng.TraceDispatch = trace
+// signal-delivery fast path under the determinism goldens. The machine
+// has one MPM, so shards above one clamp to the serial engine; the
+// parameter keeps the workload signature uniform across the goldens.
+func RunBootEchoWorkload(trace func(name string, at uint64), shards int) (finalClock, steps uint64, err error) {
+	cfg := hw.DefaultConfig()
+	cfg.Shards = shards
+	m := hw.NewMachine(cfg)
+	m.SetTraceDispatch(trace)
 
 	k, err := ck.New(m.MPMs[0], ck.Config{})
 	if err != nil {
@@ -34,14 +38,14 @@ func RunBootEchoWorkload(trace func(name string, at uint64)) (finalClock, steps 
 	if _, err := k.Boot(attrs, 40, body); err != nil {
 		return 0, 0, err
 	}
-	m.Eng.MaxSteps = 50_000_000
+	m.SetMaxSteps(50_000_000)
 	if err := m.Run(math.MaxUint64); err != nil {
 		return 0, 0, err
 	}
 	if bodyErr != nil {
 		return 0, 0, bodyErr
 	}
-	return m.Eng.Now(), m.Eng.Steps(), nil
+	return m.Now(), m.Steps(), nil
 }
 
 // Echo channel layout: each direction is one physical frame mapped

@@ -50,10 +50,29 @@ type HostperfReport struct {
 	// microsecond of the boot workload — the headline "how much slower
 	// than the hardware are we" number.
 	HostNsPerSimMicro float64 `json:"boot_host_ns_per_sim_micro"`
+
+	// Sharded engine scaling: a 16-MPM topology of independent
+	// engine-step workloads spread over 1/2/4/8 shards, each shard a
+	// goroutine (so host parallelism caps at HostCPUs — speedup cannot
+	// exceed min(shards, host_cpus) and is ~1.0 on a single-core host).
+	// No cross-shard channel exists, so the cluster takes its scaling
+	// fast path: one unbounded epoch, no barrier logging.
+	HostCPUs       int                  `json:"host_cpus"`
+	ShardedMPMs    int                  `json:"sharded_mpms"`
+	ShardedScaling []HostperfShardPoint `json:"sharded_engine_scaling"`
+}
+
+// HostperfShardPoint is one shard count's aggregate engine throughput.
+type HostperfShardPoint struct {
+	Shards      int     `json:"shards"`
+	Steps       uint64  `json:"steps"`
+	HostMs      float64 `json:"host_ms"`
+	StepsPerSec float64 `json:"steps_per_sec"`
+	Speedup     float64 `json:"speedup_vs_serial"`
 }
 
 func (r HostperfReport) String() string {
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"engine step (%d coros): %.0f steps/sec (%d steps in %.1f ms)\n"+
 			"translate hit path:       %.1f ns/op (%d ops in %.1f ms)\n"+
 			"boot+getpid workload:     %.0f sim-cycles/sec, %.0f host-ns per sim-µs\n"+
@@ -62,6 +81,43 @@ func (r HostperfReport) String() string {
 		r.TranslateNsPerOp, r.TranslateOps, r.TranslateHostMs,
 		r.BootSimCyclesPerSec, r.HostNsPerSimMicro,
 		r.BootSimCycles, r.BootSimMicros, r.BootHostMs, r.BootSchedSteps)
+	for _, p := range r.ShardedScaling {
+		s += fmt.Sprintf("sharded %2d-MPM engine, %d shard(s) on %d host cpu(s): %.0f steps/sec (%.2fx vs serial)\n",
+			r.ShardedMPMs, p.Shards, r.HostCPUs, p.StepsPerSec, p.Speedup)
+	}
+	return s
+}
+
+// hostperfShardedStep spreads mpms independent engine-step workloads
+// (4 runnable coroutines each) over shards cluster shards and runs at
+// least steps total scheduling decisions, reporting the actual decision
+// count and the wall time. With no cross-shard channel the epoch spans
+// the whole run — the measurement isolates raw parallel engine
+// throughput, not barrier cost.
+func hostperfShardedStep(mpms, shards int, steps uint64) (uint64, time.Duration) {
+	c := sim.NewCluster(shards)
+	for i := 0; i < mpms; i++ {
+		e := c.Engine(i % shards)
+		for j := 0; j < 4; j++ {
+			clk := sim.NewClock("c")
+			co := e.NewCoro("w", func(ctx *sim.Ctx) {
+				for {
+					ctx.Advance(10)
+					ctx.Reschedule()
+				}
+			})
+			e.UnparkOn(co, clk)
+		}
+	}
+	c.MaxSteps = steps
+	t0 := time.Now() //ckvet:allow detmap host-side wall-clock measurement is this experiment's purpose
+	_ = c.Run(math.MaxUint64)
+	d := time.Since(t0) //ckvet:allow detmap host-side wall-clock measurement is this experiment's purpose
+	var total uint64
+	for i := 0; i < shards; i++ {
+		total += c.Engine(i).Decisions()
+	}
+	return total, d
 }
 
 // hostperfEngineStep runs steps scheduling decisions over coros
@@ -238,5 +294,25 @@ func MeasureHostperf() (HostperfReport, error) {
 	r.BootHostMs = float64(d.Nanoseconds()) / 1e6
 	r.BootSimCyclesPerSec = float64(cycles) / d.Seconds()
 	r.HostNsPerSimMicro = float64(d.Nanoseconds()) / r.BootSimMicros
+
+	r.HostCPUs = runtime.NumCPU()
+	r.ShardedMPMs = 16
+	var serialRate float64
+	for _, shards := range []int{1, 2, 4, 8} {
+		steps, sd := hostperfShardedStep(r.ShardedMPMs, shards, 1<<19)
+		p := HostperfShardPoint{
+			Shards:      shards,
+			Steps:       steps,
+			HostMs:      float64(sd.Nanoseconds()) / 1e6,
+			StepsPerSec: float64(steps) / sd.Seconds(),
+		}
+		if shards == 1 {
+			serialRate = p.StepsPerSec
+		}
+		if serialRate > 0 {
+			p.Speedup = p.StepsPerSec / serialRate
+		}
+		r.ShardedScaling = append(r.ShardedScaling, p)
+	}
 	return r, nil
 }

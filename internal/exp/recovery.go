@@ -71,15 +71,16 @@ func (r RecoveryResult) String() string {
 // process is rerun from its program start) and returns the recovery
 // latency breakdown. Fully deterministic; the recovery golden hashes
 // its dispatch schedule.
-func RunRecoveryWorkload(trace func(name string, at uint64)) (RecoveryResult, error) {
+func RunRecoveryWorkload(trace func(name string, at uint64), shards int) (RecoveryResult, error) {
 	var res RecoveryResult
 	res.CrashAt = hw.CyclesFromMicros(18_000)
 	horizon := hw.CyclesFromMicros(120_000)
 
 	cfg := hw.DefaultConfig()
 	cfg.MPMs = 1
+	cfg.Shards = shards
 	m := hw.NewMachine(cfg)
-	m.Eng.TraceDispatch = trace
+	m.SetTraceDispatch(trace)
 	k, err := ck.New(m.MPMs[0], ck.Config{})
 	if err != nil {
 		return res, err
@@ -164,7 +165,7 @@ func RunRecoveryWorkload(trace func(name string, at uint64)) (RecoveryResult, er
 	if err != nil {
 		return res, err
 	}
-	m.Eng.MaxSteps = 2_000_000_000
+	m.SetMaxSteps(2_000_000_000)
 	if err := m.Run(math.MaxUint64); err != nil {
 		return res, err
 	}
@@ -190,14 +191,14 @@ func RunRecoveryWorkload(trace func(name string, at uint64)) (RecoveryResult, er
 	res.CrashEpoch = k.Epoch
 	res.ProcRestarts = u.Restarts
 	res.Console = string(u.Console)
-	res.FinalClock = m.Eng.Now()
-	res.Steps = m.Eng.Steps()
+	res.FinalClock = m.Now()
+	res.Steps = m.Steps()
 	return res, nil
 }
 
 // RunRecoveryTrace adapts RunRecoveryWorkload to the schedule-golden
 // harness.
-func RunRecoveryTrace(trace func(name string, at uint64)) (uint64, uint64, error) {
-	res, err := RunRecoveryWorkload(trace)
+func RunRecoveryTrace(trace func(name string, at uint64), shards int) (uint64, uint64, error) {
+	res, err := RunRecoveryWorkload(trace, shards)
 	return res.FinalClock, res.Steps, err
 }

@@ -18,7 +18,7 @@ func TestRecoveryTraceGolden(t *testing.T) {
 // crash: every emulated process finishes, the latency milestones are
 // ordered, and the breakdown is attributed correctly.
 func TestRecoveryWorkload(t *testing.T) {
-	res, err := RunRecoveryWorkload(nil)
+	res, err := RunRecoveryWorkload(nil, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

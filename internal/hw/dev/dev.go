@@ -7,8 +7,10 @@ package dev
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"vpp/internal/hw"
+	"vpp/internal/sim"
 )
 
 // MAC is an Ethernet hardware address.
@@ -43,7 +45,8 @@ type FrameFault struct {
 // Wire is a shared Ethernet segment connecting NICs.
 type Wire struct {
 	nics []*NIC
-	// Frames counts frames carried.
+	// Frames counts frames carried. Incremented atomically: senders on
+	// a sharded machine may transmit concurrently within an epoch.
 	Frames uint64
 }
 
@@ -81,9 +84,17 @@ type NIC struct {
 	TxFault func(frame []byte) FrameFault
 }
 
-// AttachNIC creates a NIC on the wire for an MPM.
+// AttachNIC creates a NIC on the wire for an MPM. When the wire comes
+// to span engine shards, the Ethernet minimum transit time becomes a
+// cross-shard latency bound: no frame reaches another shard sooner.
 func AttachNIC(mpm *hw.MPM, wire *Wire, addr MAC) *NIC {
 	n := &NIC{Addr: addr, MPM: mpm, wire: wire, RxQueueLimit: 32}
+	for _, peer := range wire.nics {
+		if peer.MPM.Shard != mpm.Shard {
+			mpm.Machine.BoundLookahead(EtherMinFrame*EtherCyclesPerByte + EtherLatency)
+			break
+		}
+	}
 	wire.nics = append(wire.nics, n)
 	return n
 }
@@ -104,7 +115,7 @@ func (n *NIC) Transmit(e *hw.Exec, frame []byte) error {
 	e.Charge(uint64(len(frame)/4) * hw.CostDeviceDMAWord)
 	n.TxFrames++
 	n.TxBytes += uint64(len(frame))
-	n.wire.Frames++
+	atomic.AddUint64(&n.wire.Frames, 1)
 	delay := uint64(len(frame))*EtherCyclesPerByte + EtherLatency
 	var ff FrameFault
 	if n.TxFault != nil {
@@ -114,26 +125,71 @@ func (n *NIC) Transmit(e *hw.Exec, frame []byte) error {
 		n.WireDropped++
 		return nil
 	}
-	deliver := func() {
-		var dst MAC
-		copy(dst[:], dup[0:6])
-		for _, peer := range n.wire.nics {
-			if peer == n {
-				continue
+	// One delivery event per destination shard, in wire order: each
+	// event delivers to that shard's eligible NICs (still filtered at
+	// delivery time, so wire membership stays live), and a cross-shard
+	// event rides the epoch barrier with its transit time intact. On a
+	// serial machine every NIC shares one engine, so this is exactly
+	// one event with the historical closure semantics.
+	deliverOn := func(shard *sim.Engine) func() {
+		return func() {
+			var dst MAC
+			copy(dst[:], dup[0:6])
+			for _, peer := range n.wire.nics {
+				if peer == n || peer.MPM.Shard != shard {
+					continue
+				}
+				if dst != Broadcast && dst != peer.Addr {
+					continue
+				}
+				peer.receive(dup)
 			}
-			if dst != Broadcast && dst != peer.Addr {
-				continue
-			}
-			peer.receive(dup)
 		}
 	}
-	eng := n.MPM.Machine.Eng
-	eng.ScheduleAfter(delay+ff.Delay, deliver)
+	eng := n.MPM.Shard
+	at := eng.Now() + delay + ff.Delay
+	sent := false
+	n.forEachPeerShard(func(shard *sim.Engine) {
+		sent = true
+		eng.ScheduleCrossAt(shard, at, deliverOn(shard))
+	})
+	if !sent {
+		// Peerless wire: keep the historical one-event-per-transmit
+		// schedule shape (an empty delivery) so schedules are identical.
+		eng.ScheduleCrossAt(eng, at, deliverOn(eng))
+	}
 	if ff.Dup {
 		n.WireDuped++
-		eng.ScheduleAfter(delay+ff.Delay+EtherLatency, deliver)
+		sent = false
+		n.forEachPeerShard(func(shard *sim.Engine) {
+			sent = true
+			eng.ScheduleCrossAt(shard, at+EtherLatency, deliverOn(shard))
+		})
+		if !sent {
+			eng.ScheduleCrossAt(eng, at+EtherLatency, deliverOn(eng))
+		}
 	}
 	return nil
+}
+
+// forEachPeerShard calls fn once per distinct shard owning at least one
+// other NIC on the wire, in wire order.
+func (n *NIC) forEachPeerShard(fn func(shard *sim.Engine)) {
+	for i, peer := range n.wire.nics {
+		if peer == n {
+			continue
+		}
+		first := true
+		for _, prev := range n.wire.nics[:i] {
+			if prev != n && prev.MPM.Shard == peer.MPM.Shard {
+				first = false
+				break
+			}
+		}
+		if first {
+			fn(peer.MPM.Shard)
+		}
+	}
 }
 
 // receive queues a frame in engine context.
@@ -197,11 +253,16 @@ type FiberPort struct {
 	TxFault func(msg []byte) FrameFault
 }
 
-// ConnectFiber creates a connected pair of ports.
+// ConnectFiber creates a connected pair of ports. A link between MPMs
+// on different engine shards registers the fiber's propagation latency
+// as a cross-shard lookahead bound: no message arrives sooner.
 func ConnectFiber(a, b *hw.MPM, name string) (*FiberPort, *FiberPort) {
 	pa := &FiberPort{Name: name + ".a", MPM: a}
 	pb := &FiberPort{Name: name + ".b", MPM: b}
 	pa.peer, pb.peer = pb, pa
+	if a.Shard != b.Shard {
+		a.Machine.BoundLookahead(FiberLatency)
+	}
 	return pa, pb
 }
 
@@ -232,11 +293,14 @@ func (p *FiberPort) Send(e *hw.Exec, msg []byte) error {
 			peer.OnRx()
 		}
 	}
-	eng := p.MPM.Machine.Eng
-	eng.ScheduleAfter(cycles+FiberLatency+ff.Delay, deliver)
+	// Delivery runs on the receiving port's shard; a cross-shard link
+	// rides the epoch barrier with its transit time intact.
+	eng := p.MPM.Shard
+	at := eng.Now() + cycles + FiberLatency + ff.Delay
+	eng.ScheduleCrossAt(peer.MPM.Shard, at, deliver)
 	if ff.Dup {
 		p.WireDuped++
-		eng.ScheduleAfter(cycles+FiberLatency+ff.Delay+FiberLatency, deliver)
+		eng.ScheduleCrossAt(peer.MPM.Shard, at+FiberLatency, deliver)
 	}
 	return nil
 }

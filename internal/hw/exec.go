@@ -78,7 +78,7 @@ type execExit struct{ e *Exec }
 // or the context calls Exit.
 func (m *MPM) NewExec(name string, body func(*Exec)) *Exec {
 	e := &Exec{Name: name, MPM: m, Mode: ModeUser}
-	e.coro = m.Machine.Eng.NewCoro(name, func(ctx *sim.Ctx) {
+	e.coro = m.Shard.NewCoro(name, func(ctx *sim.Ctx) {
 		e.ctx = ctx
 		defer func() {
 			if r := recover(); r != nil {
@@ -106,7 +106,7 @@ func (m *MPM) NewDeviceExec(name string, body func(*Exec)) *Exec {
 	e := m.NewExec(name, body)
 	e.Mode = ModeSupervisor
 	e.devClock = sim.NewClock(name)
-	m.Machine.Eng.UnparkOn(e.coro, e.devClock)
+	m.Shard.UnparkOn(e.coro, e.devClock)
 	return e
 }
 
@@ -118,7 +118,7 @@ func (e *Exec) Wake() {
 	if e.devClock == nil || e.finished || e.coro.Runnable() {
 		return
 	}
-	eng := e.MPM.Machine.Eng
+	eng := e.MPM.Shard
 	e.devClock.AdvanceTo(eng.Now())
 	eng.UnparkOn(e.coro, e.devClock)
 }

@@ -14,6 +14,18 @@ type Config struct {
 	LocalRAMBytes int
 	L2Bytes       uint32
 	TLBEntries    int
+
+	// Shards is the number of engine shards the MPMs are spread over,
+	// each running on its own goroutine inside deterministic
+	// virtual-time epochs (internal/sim Cluster). 0 or 1 is today's
+	// serial engine; values above MPMs are clamped. Results are
+	// byte-identical across shard counts.
+	Shards int
+
+	// ShardMap optionally assigns MPM i to shard ShardMap[i] (values in
+	// [0, Shards)); nil means round-robin. Callers use it to co-locate
+	// MPMs that share host-side state outside the interconnect model.
+	ShardMap []int
 }
 
 // DefaultConfig matches the paper's prototype: MPMs of four 25 MHz CPUs,
@@ -31,12 +43,17 @@ func DefaultConfig() Config {
 }
 
 // Machine is a simulated multiprocessor: shared physical memory plus one
-// or more MPMs, all driven by one deterministic engine.
+// or more MPMs. Serial (Cfg.Shards ≤ 1) machines are driven by the one
+// engine Eng; sharded machines spread MPMs over Cluster's per-shard
+// engines (Eng remains shard 0's). Use the Machine-level Run /
+// SetTraceDispatch / SetMaxSteps / Now / Steps wrappers to stay
+// agnostic.
 type Machine struct {
-	Eng  *sim.Engine
-	Phys *PhysMem
-	MPMs []*MPM
-	Cfg  Config
+	Eng     *sim.Engine
+	Cluster *sim.Cluster // nil when serial
+	Phys    *PhysMem
+	MPMs    []*MPM
+	Cfg     Config
 }
 
 // NewMachine builds a machine from cfg.
@@ -44,16 +61,40 @@ func NewMachine(cfg Config) *Machine {
 	if cfg.MPMs <= 0 || cfg.CPUsPerMPM <= 0 {
 		panic("hw: machine needs at least one MPM and CPU")
 	}
+	shards := cfg.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > cfg.MPMs {
+		shards = cfg.MPMs
+	}
 	m := &Machine{
-		Eng:  sim.NewEngine(),
 		Phys: NewPhysMem(cfg.PhysMemBytes),
 		Cfg:  cfg,
 	}
+	if shards > 1 {
+		m.Cluster = sim.NewCluster(shards)
+		m.Eng = m.Cluster.Engine(0)
+	} else {
+		m.Eng = sim.NewEngine()
+	}
 	cpuID := 0
 	for i := 0; i < cfg.MPMs; i++ {
+		shard := m.Eng
+		if m.Cluster != nil {
+			s := i % shards
+			if cfg.ShardMap != nil {
+				if i >= len(cfg.ShardMap) || cfg.ShardMap[i] < 0 || cfg.ShardMap[i] >= shards {
+					panic(fmt.Sprintf("hw: bad ShardMap entry for MPM %d", i))
+				}
+				s = cfg.ShardMap[i]
+			}
+			shard = m.Cluster.Engine(s)
+		}
 		mpm := &MPM{
 			ID:       i,
 			Machine:  m,
+			Shard:    shard,
 			LocalRAM: NewRAMAllocator(fmt.Sprintf("mpm%d-lram", i), cfg.LocalRAMBytes),
 			L2:       NewL2Cache(cfg.L2Bytes),
 		}
@@ -75,14 +116,69 @@ func NewMachine(cfg Config) *Machine {
 
 // Run drives the simulation until quiescent or until the virtual cycle
 // bound is reached.
-func (m *Machine) Run(until uint64) error { return m.Eng.Run(until) }
+func (m *Machine) Run(until uint64) error {
+	if m.Cluster != nil {
+		return m.Cluster.Run(until)
+	}
+	return m.Eng.Run(until)
+}
+
+// SetTraceDispatch installs the dispatch-trace hook: on a serial
+// machine the engine calls it directly, on a sharded machine the
+// cluster emits the merged (serial-order) trace at epoch barriers.
+func (m *Machine) SetTraceDispatch(fn func(name string, at uint64)) {
+	if m.Cluster != nil {
+		m.Cluster.SetTrace(fn)
+		return
+	}
+	m.Eng.TraceDispatch = fn
+}
+
+// SetMaxSteps arms the machine-wide scheduling-decision guard.
+func (m *Machine) SetMaxSteps(n uint64) {
+	if m.Cluster != nil {
+		m.Cluster.MaxSteps = n
+		return
+	}
+	m.Eng.MaxSteps = n
+}
+
+// Now reports the machine's global virtual time: the time of the most
+// recent schedule point, which is identical across shard counts.
+func (m *Machine) Now() uint64 {
+	if m.Cluster != nil {
+		return m.Cluster.Now()
+	}
+	return m.Eng.SchedTime()
+}
+
+// Steps reports total scheduling decisions, shard-count invariant.
+func (m *Machine) Steps() uint64 {
+	if m.Cluster != nil {
+		return m.Cluster.Steps()
+	}
+	return m.Eng.Steps()
+}
+
+// BoundLookahead registers a cross-shard interaction latency with the
+// cluster; a no-op on a serial machine. Device models call it when an
+// interconnect they create spans shards.
+func (m *Machine) BoundLookahead(cycles uint64) {
+	if m.Cluster != nil {
+		m.Cluster.Bound(cycles)
+	}
+}
 
 // MPM is one multiprocessor module: a small number of CPUs sharing a
 // second-level cache and local RAM, running its own Cache Kernel instance
 // (the Supervisor).
 type MPM struct {
-	ID       int
-	Machine  *Machine
+	ID      int
+	Machine *Machine
+	// Shard is the engine that owns this MPM's clocks, coroutines and
+	// events (the machine's only engine when serial). All scheduling
+	// for the MPM goes through it.
+	Shard    *sim.Engine
 	CPUs     []*CPU
 	LocalRAM *RAMAllocator
 	L2       *L2Cache
@@ -139,7 +235,7 @@ func (c *CPU) Post(bits uint32) { c.Pending |= bits }
 // ArmTimerAt schedules a supervisor TimerTick for this CPU at virtual
 // time t.
 func (c *CPU) ArmTimerAt(t uint64) {
-	c.MPM.Machine.Eng.ScheduleAt(t, func() {
+	c.MPM.Shard.ScheduleAt(t, func() {
 		if c.MPM.Sup != nil {
 			c.MPM.Sup.TimerTick(c)
 		}
@@ -156,7 +252,7 @@ func (c *CPU) Dispatch(e *Exec) {
 	}
 	c.Cur = e
 	e.CPU = c
-	c.MPM.Machine.Eng.UnparkOn(e.coro, c.Clock)
+	c.MPM.Shard.UnparkOn(e.coro, c.Clock)
 }
 
 // Fault identifies the cause of an access error.

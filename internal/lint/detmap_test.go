@@ -9,4 +9,5 @@ import (
 
 func TestDetmap(t *testing.T) {
 	analysistest.Run(t, "testdata/detmap", lint.Detmap, "vpp/internal/detfix")
+	analysistest.Run(t, "testdata/detmap", lint.Detmap, "vpp/internal/sim")
 }

@@ -1,0 +1,32 @@
+// Package sim is the detmap fixture for the cross-shard inbox check:
+// ranging over a buffer of crossMsg values applies cross-shard effects
+// in append order, which is a per-shard accident; the barrier must
+// consume them in merged rank order instead.
+package sim
+
+type crossMsg struct {
+	at uint64
+	fn func()
+}
+
+// drainFlagged applies inbox messages in buffer order.
+func drainFlagged(inbox []crossMsg) {
+	for _, m := range inbox { // want `range over a cross-shard message buffer`
+		m.fn()
+	}
+}
+
+// drainAllowed documents why its iteration order is safe.
+func drainAllowed(inbox []crossMsg) {
+	//ckvet:allow detmap fixture buffer was ranked before the loop
+	for _, m := range inbox {
+		m.fn()
+	}
+}
+
+// drainRanked consumes through explicit ranked indices: not flagged.
+func drainRanked(inbox []crossMsg, ranked []int) {
+	for _, i := range ranked {
+		inbox[i].fn()
+	}
+}

@@ -67,6 +67,18 @@ type Coro struct {
 	runnable bool
 	started  bool
 	done     bool
+	// fresh marks an activation: the coroutine was unparked and has not
+	// been dispatched since. Only activation dispatches are traced and
+	// counted in Steps — later re-slices of the same run (grid-boundary
+	// yields) are engine pacing, invisible to the simulated kernel.
+	fresh bool
+
+	// band/gid order this coro's dispatches against entities on other
+	// shards at equal virtual times (see event.band): band 0 carries
+	// the construction-time id, band 1 a barrier-assigned global rank.
+	// Serial engines only use band 0 with gid == id.
+	band uint8
+	gid  uint64
 }
 
 // Name reports the coro's name.
@@ -91,10 +103,19 @@ type Ctx struct {
 // event is a scheduled callback. Events run in the engine's own context
 // (never inside a coroutine); they typically raise interrupts or unpark
 // coros.
+//
+// band orders events across shard timelines at equal virtual times
+// without a shared runtime counter (see cluster.go): band 0 is
+// construction time (ids from the cluster-wide constructor counter, or
+// the engine counter when standalone — today's serial order, byte for
+// byte), band 1 is runtime registrations that have been assigned a
+// global rank at an epoch barrier, band 2 is this-epoch shard-local
+// registrations not yet ranked. Serial engines only ever use band 0.
 type event struct {
-	at  uint64
-	seq uint64
-	fn  func()
+	at   uint64
+	seq  uint64
+	band uint8
+	fn   func()
 }
 
 // Engine owns all coroutines, clocks and pending events of one simulation.
@@ -107,16 +128,78 @@ type Engine struct {
 	current *Coro
 	now     uint64 // time of the most recently scheduled entity
 	until   uint64 // bound of the Run call in progress
-	steps   uint64
+	steps   uint64 // raw scheduling decisions (MaxSteps guard)
+	sched   uint64 // schedule points: event executions + activations
+	schedAt uint64 // latest schedule-point time seen so far (monotone)
 	// MaxSteps bounds engine scheduling decisions as a runaway guard.
 	// Zero means no limit.
 	MaxSteps uint64
 
 	// TraceDispatch, when non-nil, is called with the coroutine name and
-	// virtual dispatch time on every scheduling decision that resumes a
-	// coroutine. It observes the schedule without perturbing it; the
-	// determinism regression harness hashes the resulting trace.
+	// virtual dispatch time on every activation — a dispatch of a
+	// coroutine that was unparked since it last ran. Preemption
+	// re-slices are not traced: they depend on which other entities
+	// share the engine, while activations are a property of the
+	// simulated schedule itself (and are therefore identical across
+	// shard counts). The determinism regression harness hashes the
+	// resulting trace. In a cluster, the per-shard field stays nil and
+	// the cluster emits the merged trace instead.
 	TraceDispatch func(name string, at uint64)
+
+	// Sharded-mode state (nil/zero for a standalone serial engine).
+	cluster *Cluster
+	shard   int
+	// logging records every action (event execution, coroutine
+	// dispatch) and every runtime registration so the cluster can
+	// replay the exact serial global order at each epoch barrier.
+	logging bool
+	acts    []actRec
+	subs    []subRec
+	outbox  []crossMsg
+	// evFree pools event records when the log does not retain them.
+	evFree []*event
+}
+
+// Action and registration log records (sharded mode only).
+const (
+	actEvent    = 0 // an event execution
+	actDispatch = 1 // an activation: first dispatch since unpark
+	actReslice  = 2 // a continuation dispatch after a grid-boundary yield
+
+	subCoro  = 0 // a NewCoro whose dispatch rank is assigned at the barrier
+	subEvent = 1 // a shard-local ScheduleAt re-ranked at the barrier
+	subCross = 2 // a cross-shard message injected at the barrier
+)
+
+// actRec is one logged action: an event execution or a dispatch
+// decision (activation or re-slice — every decision is logged, because
+// the barrier merge replays the serial engine's complete decision
+// sequence; only activations are traced). sub is the index into the
+// engine's subs log where this action's registrations begin (they end
+// where the next action's begin).
+type actRec struct {
+	at   uint64
+	co   *Coro
+	ev   *event
+	sub  int32
+	kind uint8
+}
+
+// subRec is one logged runtime registration, ranked in merged global
+// order at the epoch barrier.
+type subRec struct {
+	kind uint8
+	co   *Coro
+	ev   *event
+	msg  int32
+}
+
+// crossMsg is a scheduled effect bound for another shard, delivered at
+// the epoch barrier with its virtual time intact.
+type crossMsg struct {
+	at  uint64
+	dst *Engine
+	fn  func()
 }
 
 // NewEngine returns an empty engine.
@@ -124,27 +207,90 @@ func NewEngine() *Engine {
 	return &Engine{yieldCh: make(chan *Coro)}
 }
 
-// Now reports the virtual time of the most recently scheduled entity.
-// It is a global lower bound: no future activity occurs before it.
-func (e *Engine) Now() uint64 { return e.now }
+// Now reports the engine's current virtual time. From inside a running
+// coroutine this is that coroutine's own clock — the engine-level `now`
+// only advances at schedule points, so the running entity's clock is
+// the honest current time (and, unlike the schedule-point clock, it
+// does not depend on how preemption sliced other entities' runs).
+// Outside any coroutine it is the time of the most recent schedule
+// point, a global lower bound: no future activity occurs before it.
+func (e *Engine) Now() uint64 {
+	if cur := e.current; cur != nil {
+		return cur.clock.now
+	}
+	return e.now
+}
 
-// Steps reports the number of scheduling decisions made so far.
-func (e *Engine) Steps() uint64 { return e.steps }
+// Steps reports the number of schedule points so far: event executions
+// plus coroutine activations. Unlike the raw decision count (which
+// includes horizon-preemption re-slices and is what MaxSteps guards),
+// this is a property of the simulated schedule and is identical across
+// shard counts.
+func (e *Engine) Steps() uint64 { return e.sched }
+
+// Decisions reports raw scheduling decisions, including preemption
+// re-slices; this is the count MaxSteps bounds.
+func (e *Engine) Decisions() uint64 { return e.steps }
+
+// SchedTime reports the latest schedule-point time (event execution or
+// activation) seen so far. Unlike Now, which preemption re-slices also
+// advance, this is a property of the simulated schedule and therefore
+// identical across shard counts; the determinism fingerprints use it as
+// the final clock.
+func (e *Engine) SchedTime() uint64 { return e.schedAt }
+
+// Shard reports the engine's shard index within its cluster (0 when
+// standalone).
+func (e *Engine) Shard() int { return e.shard }
+
+// nextTime reports the virtual time of the engine's next pending entity
+// (runnable coroutine or event), or MaxUint64 when quiescent. Only
+// called between epochs, when no coroutine of the engine is executing.
+func (e *Engine) nextTime() uint64 {
+	_, t := e.peekRunnable()
+	if len(e.events) > 0 && e.events[0].at < t {
+		t = e.events[0].at
+	}
+	return t
+}
 
 // Live reports the number of coroutines the engine still tracks
 // (finished coroutines are removed).
 func (e *Engine) Live() int { return len(e.coros) }
 
+// nextSeq draws the next construction-order id: the cluster-wide
+// constructor counter while a cluster is being built (so ids across
+// shards reproduce the single-engine creation order exactly), the
+// engine-local counter otherwise.
+func (e *Engine) nextSeq() uint64 {
+	if c := e.cluster; c != nil && !c.running {
+		c.ctorSeq++
+		return c.ctorSeq
+	}
+	e.seq++
+	return e.seq
+}
+
 // NewCoro creates a parked coroutine that will execute fn when first
 // dispatched. The body must only interact with the engine through ctx.
 func (e *Engine) NewCoro(name string, fn func(*Ctx)) *Coro {
-	e.seq++
+	id := e.nextSeq()
 	co := &Coro{
 		name:   name,
-		id:     e.seq,
+		id:     id,
 		eng:    e,
 		fn:     fn,
 		resume: make(chan uint64),
+		gid:    id,
+	}
+	if c := e.cluster; c != nil && c.running {
+		// Runtime creation in a cluster: the global dispatch rank is
+		// assigned when the creating action is merged at the barrier.
+		co.band = 1
+		co.gid = 0
+		if e.logging {
+			e.subs = append(e.subs, subRec{kind: subCoro, co: co})
+		}
 	}
 	co.ctx = &Ctx{co: co}
 	e.coros = append(e.coros, co)
@@ -156,6 +302,9 @@ func (e *Engine) NewCoro(name string, fn func(*Ctx)) *Coro {
 // Calling it for an already-runnable or finished coro panics, as that
 // indicates a kernel scheduling bug.
 func (e *Engine) UnparkOn(co *Coro, clock *Clock) {
+	if co.eng != e {
+		panic(fmt.Sprintf("sim: unpark of coro %q on a foreign engine (cross-shard dispatch)", co.name))
+	}
 	if co.done {
 		panic(fmt.Sprintf("sim: unpark of finished coro %q", co.name))
 	}
@@ -167,6 +316,7 @@ func (e *Engine) UnparkOn(co *Coro, clock *Clock) {
 	}
 	co.clock = clock
 	co.runnable = true
+	co.fresh = true
 	e.runq.push(coroEntry{at: clock.now, co: co})
 	// A newly runnable coroutine may be more urgent than the currently
 	// executing one: shrink the current horizon so it yields at its next
@@ -179,8 +329,20 @@ func (e *Engine) UnparkOn(co *Coro, clock *Clock) {
 // ScheduleAt registers fn to run at virtual time t in engine context.
 // Events at equal times run in registration order.
 func (e *Engine) ScheduleAt(t uint64, fn func()) {
-	e.seq++
-	e.events.push(&event{at: t, seq: e.seq, fn: fn})
+	ev := e.newEvent()
+	ev.at, ev.fn = t, fn
+	if c := e.cluster; c != nil && c.running {
+		// Runtime registration in a cluster: shard-local order now,
+		// global rank at the barrier.
+		e.seq++
+		ev.band, ev.seq = 2, e.seq
+		if e.logging {
+			e.subs = append(e.subs, subRec{kind: subEvent, ev: ev})
+		}
+	} else {
+		ev.band, ev.seq = 0, e.nextSeq()
+	}
+	e.events.push(ev)
 	// The new event may precede the running coroutine's current horizon.
 	if cur := e.current; cur != nil && t < cur.ctx.horizon {
 		cur.ctx.horizon = t
@@ -193,12 +355,61 @@ func (e *Engine) ScheduleAfter(d uint64, fn func()) {
 	e.ScheduleAt(e.now+d, fn)
 }
 
+// ScheduleCrossAt registers fn to run at virtual time t on dst, which
+// may be another shard of the same cluster. Same-engine (or
+// construction-time) registrations are ordinary events; a runtime
+// cross-shard registration is queued in the source shard's outbox and
+// injected into dst at the epoch barrier, so t must lie beyond the
+// current epoch — which the cluster's latency bound (Cluster.Bound)
+// guarantees for every modeled interconnect.
+func (e *Engine) ScheduleCrossAt(dst *Engine, t uint64, fn func()) {
+	c := e.cluster
+	if dst == e || c == nil || !c.running {
+		dst.ScheduleAt(t, fn)
+		return
+	}
+	if c.lookahead == math.MaxUint64 {
+		panic("sim: cross-shard event with no registered latency bound")
+	}
+	if t <= e.until {
+		panic(fmt.Sprintf("sim: cross-shard event at %d inside the current epoch (bound %d)", t, e.until))
+	}
+	e.outbox = append(e.outbox, crossMsg{at: t, dst: dst, fn: fn})
+	e.subs = append(e.subs, subRec{kind: subCross, msg: int32(len(e.outbox) - 1)})
+}
+
+// newEvent draws an event record from the pool (events are recycled
+// after execution whenever the barrier log does not retain them).
+func (e *Engine) newEvent() *event {
+	if n := len(e.evFree); n > 0 {
+		ev := e.evFree[n-1]
+		e.evFree = e.evFree[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+// freeEvent returns an executed event to the pool. Only called when
+// logging is off; a logged event is still referenced by the action log.
+func (e *Engine) freeEvent(ev *event) {
+	ev.fn = nil
+	e.evFree = append(e.evFree, ev)
+}
+
 // ErrMaxSteps reports that Run stopped because the step guard tripped.
 var ErrMaxSteps = errors.New("sim: exceeded MaxSteps scheduling decisions")
 
-// maxQuantum bounds how far a coroutine may run past its scheduling
-// point before yielding, keeping the engine responsive to MaxSteps.
-const maxQuantum = 1 << 22
+// gridQuantum is the slice grid: a dispatched coroutine runs until its
+// clock crosses the next multiple of gridQuantum (or it parks, or its
+// horizon is shrunk by an unpark or event it issued itself). Slice
+// boundaries are therefore intrinsic to each coroutine's own charge
+// trajectory — never derived from which other entities happen to share
+// the engine — which is what makes the schedule identical under any
+// sharding of the entities: the engine merely merges intrinsic slices,
+// events and activations by (time, id), and that merge commutes with
+// partitioning. The grid also bounds how long a non-yielding loop can
+// hold the engine, keeping it responsive to MaxSteps.
+const gridQuantum = 1 << 16
 
 // Run executes the simulation until no coroutine is runnable and no event
 // is pending, or until the next entity's time exceeds until (pass
@@ -225,9 +436,28 @@ func (e *Engine) Run(until uint64) error {
 			if evTime > until {
 				return nil
 			}
-			ev := e.events.pop()
-			e.now = ev.at
-			ev.fn()
+			e.runEvent(e.events.pop())
+			// Batched drain: run consecutive due events without
+			// re-entering the full scheduling decision, for as long as
+			// the cheap run-queue bound proves the next event still
+			// precedes every runnable coroutine. Stale heap keys only
+			// under-estimate a clock (clocks move forward), so the
+			// bound is conservative: a miss bounces to the full
+			// decision above, never reorders.
+			for len(e.events) > 0 {
+				next := e.events[0]
+				if next.at > until {
+					break
+				}
+				if len(e.runq) > 0 && next.at > e.runq[0].at {
+					break
+				}
+				if e.MaxSteps != 0 && e.steps >= e.MaxSteps {
+					return ErrMaxSteps
+				}
+				e.steps++
+				e.runEvent(e.events.pop())
+			}
 		default:
 			if coTime > until {
 				return nil
@@ -235,12 +465,27 @@ func (e *Engine) Run(until uint64) error {
 			e.runq.pop()
 			horizon := e.horizonFor(coTime)
 			e.now = coTime
-			if e.TraceDispatch != nil {
-				e.TraceDispatch(co.name, coTime)
-			}
+			e.logDispatch(co, coTime)
 			e.resumeCoro(co, horizon)
 		}
 	}
+}
+
+// runEvent executes one due event, logging and recycling as the mode
+// requires.
+func (e *Engine) runEvent(ev *event) {
+	e.now = ev.at
+	e.sched++
+	if ev.at > e.schedAt {
+		e.schedAt = ev.at
+	}
+	if e.logging {
+		e.acts = append(e.acts, actRec{at: ev.at, ev: ev, sub: int32(len(e.subs)), kind: actEvent})
+		ev.fn()
+		return
+	}
+	ev.fn()
+	e.freeEvent(ev)
 }
 
 // peekRunnable returns the runnable coroutine with the smallest
@@ -271,22 +516,16 @@ func (e *Engine) peekRunnable() (*Coro, uint64) {
 }
 
 // horizonFor computes how far a coroutine dispatched at coTime may run
-// before yielding: the time of the next-most-urgent entity, capped by
-// the run bound and a maximum quantum so the engine periodically
-// regains control from non-yielding loops. The dispatched coroutine
-// must already be popped from the run queue.
+// before yielding: the next absolute gridQuantum boundary. The horizon
+// deliberately ignores other entities' clocks — capping a slice by a
+// neighbour's position would make the yield point (and with it the
+// interleaving of side effects at overlapping clock ranges) depend on
+// which entities share the engine, breaking shard-count invariance.
+// Causality does not need entity capping: any interaction the running
+// coroutine initiates (an unpark, a scheduled event) shrinks its own
+// horizon at the interaction point, which is intrinsic to its code.
 func (e *Engine) horizonFor(coTime uint64) uint64 {
-	_, horizon := e.peekRunnable()
-	if len(e.events) > 0 && e.events[0].at < horizon {
-		horizon = e.events[0].at
-	}
-	if e.until < horizon {
-		horizon = e.until
-	}
-	if q := coTime + maxQuantum; q < horizon {
-		horizon = q
-	}
-	return horizon
+	return coTime - coTime%gridQuantum + gridQuantum
 }
 
 // pickDirect evaluates the next scheduling decision from inside a
@@ -311,10 +550,32 @@ func (e *Engine) pickDirect() (next *Coro, horizon uint64, ok bool) {
 	e.runq.pop()
 	horizon = e.horizonFor(coTime)
 	e.now = coTime
-	if e.TraceDispatch != nil {
-		e.TraceDispatch(co.name, coTime)
-	}
+	e.logDispatch(co, coTime)
 	return co, horizon, true
+}
+
+// logDispatch records one dispatch decision. An activation (first
+// dispatch since unpark) is a schedule point: it is counted, traced,
+// and advances SchedTime. Re-slices are logged too when sharded — the
+// barrier merge replays the complete decision sequence, and with
+// intrinsic slice boundaries that sequence is identical across shard
+// counts — but they are not schedule points.
+func (e *Engine) logDispatch(co *Coro, coTime uint64) {
+	kind := uint8(actReslice)
+	if co.fresh {
+		co.fresh = false
+		kind = actDispatch
+		e.sched++
+		if coTime > e.schedAt {
+			e.schedAt = coTime
+		}
+		if e.TraceDispatch != nil {
+			e.TraceDispatch(co.name, coTime)
+		}
+	}
+	if e.logging {
+		e.acts = append(e.acts, actRec{at: coTime, co: co, sub: int32(len(e.subs)), kind: kind})
+	}
 }
 
 // resumeCoro transfers control to co until control bounces back to the
@@ -530,11 +791,44 @@ func (h *eventHeap) pop() *event {
 	return top
 }
 
+// less orders events by (at, band, seq). Bands only separate at equal
+// times in sharded mode, where they reproduce the serial registration
+// order: construction (0) before prior-epoch runtime ranks (1) before
+// this-epoch shard-local registrations (2) — each band's counter is
+// itself monotone in serial registration order. A serial engine uses
+// band 0 throughout, so this is exactly the historical (at, seq) rule.
 func less(a, b *event) bool {
 	if a.at != b.at {
 		return a.at < b.at
 	}
+	if a.band != b.band {
+		return a.band < b.band
+	}
 	return a.seq < b.seq
+}
+
+// reheap restores the event heap invariant after the barrier re-ranks
+// pending events in place.
+func (h eventHeap) reheap() {
+	n := len(h)
+	for i := n/2 - 1; i >= 0; i-- {
+		j := i
+		for {
+			l, r := 2*j+1, 2*j+2
+			m := j
+			if l < n && less(h[l], h[m]) {
+				m = l
+			}
+			if r < n && less(h[r], h[m]) {
+				m = r
+			}
+			if m == j {
+				break
+			}
+			h[j], h[m] = h[m], h[j]
+			j = m
+		}
+	}
 }
 
 // DebugState renders the engine's coroutine states for diagnostics.

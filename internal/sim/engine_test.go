@@ -47,8 +47,12 @@ func TestTwoClocksInterleaveByTime(t *testing.T) {
 	if err := e.Run(math.MaxUint64); err != nil {
 		t.Fatal(err)
 	}
-	// a finishes steps at 10,20,30,40; b at 25,50,75,100.
-	want := []string{"a", "a", "b", "a", "a", "b", "b", "b"}
+	// Both coros fit inside one grid slice, so each runs its slice to
+	// completion in activation order: slice boundaries are intrinsic to
+	// each coroutine's own trajectory, never induced by a neighbour's
+	// clock (that coupling would make the interleaving depend on which
+	// entities share the engine, breaking shard-count invariance).
+	want := []string{"a", "a", "a", "a", "b", "b", "b", "b"}
 	if len(order) != len(want) {
 		t.Fatalf("order = %v", order)
 	}
@@ -106,13 +110,41 @@ func TestEventInterleavesWithCoro(t *testing.T) {
 	clk := NewClock("cpu0")
 	var at uint64
 	e.ScheduleAt(15, func() { at = e.Now() })
+	var atDuringSlice uint64
+	co := e.NewCoro("w", func(ctx *Ctx) {
+		ctx.Advance(20) // crosses 15 inside one slice; no induced yield
+		atDuringSlice = at
+	})
+	e.UnparkOn(co, clk)
+	if err := e.Run(math.MaxUint64); err != nil {
+		t.Fatal(err)
+	}
+	// A pending event does not split a running slice: the coroutine was
+	// activated at time 0, before the event's time, so the whole slice
+	// orders before it. The event still fires at its own time once the
+	// engine regains control.
+	if atDuringSlice != 0 {
+		t.Fatalf("event fired inside the slice (saw at=%d)", atDuringSlice)
+	}
+	if at != 15 {
+		t.Fatalf("event fired at %d, want 15", at)
+	}
+}
+
+// TestEventSplitsOwnSchedulersSlice pins the intrinsic-yield rule: when
+// the running coroutine itself schedules an event below its horizon,
+// the shrink point comes from its own code, so yielding there is
+// deterministic under any sharding — and the event fires before the
+// coroutine passes it.
+func TestEventSplitsOwnSchedulersSlice(t *testing.T) {
+	e := NewEngine()
+	clk := NewClock("cpu0")
+	var at uint64
 	var sawEventBefore bool
 	co := e.NewCoro("w", func(ctx *Ctx) {
-		ctx.Advance(10) // now 10, event at 15 still pending
-		if at != 0 {
-			t.Error("event fired too early")
-		}
-		ctx.Advance(10) // crosses 15; must yield so event fires at 15
+		ctx.Advance(10)
+		e.ScheduleAt(15, func() { at = e.Now() })
+		ctx.Advance(10) // crosses 15; must yield so the event fires at 15
 		sawEventBefore = at == 15
 	})
 	e.UnparkOn(co, clk)
@@ -138,8 +170,14 @@ func TestRunUntilBound(t *testing.T) {
 	if err := e.Run(100); err != nil {
 		t.Fatal(err)
 	}
-	if n < 9 || n > 11 {
-		t.Fatalf("ran %d steps, want about 10", n)
+	// The bound gates slice starts, not slice contents: the coroutine
+	// activated at 0 runs its whole first grid slice, then the next
+	// slice would start past 100 and Run returns.
+	if n != 6553 {
+		t.Fatalf("ran %d steps, want one full grid slice (6553)", n)
+	}
+	if e.Now() > 100 {
+		t.Fatalf("Now = %d after Run(100), want a schedule point <= 100", e.Now())
 	}
 }
 

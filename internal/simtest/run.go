@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"math"
+	"sync"
 
 	"vpp/internal/aklib"
 	"vpp/internal/chaos"
@@ -62,7 +63,12 @@ func minU64(a, b uint64) uint64 {
 
 // harness owns one scenario run: the machine, the per-node state and
 // the oracle ledger. Everything below runs under the virtual-time
-// engine, which serializes all simulated execution on the host.
+// engine; on a sharded machine nodes on different shards run
+// concurrently inside an epoch, so the one piece of state every node
+// writes — the failure list — takes a mutex. All other cross-node
+// harness state is either written by one node and read after Run
+// (opDone, net*), or shared only between the two DSM nodes, which
+// shardPlan co-locates on one shard.
 type harness struct {
 	sc      Scenario
 	horizon uint64
@@ -76,6 +82,7 @@ type harness struct {
 	// opDone counts completions per op (conservation: exactly once).
 	opDone []int
 
+	mu       sync.Mutex // guards failures/trunc
 	failures []Failure
 	trunc    bool
 
@@ -99,6 +106,8 @@ type harness struct {
 }
 
 func (h *harness) failf(oracle, format string, args ...any) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if len(h.failures) >= maxFailures {
 		h.trunc = true
 		return
@@ -195,6 +204,68 @@ func (n *node) hasMixActors() bool { return n.hasUnix() || n.hasRTK() || n.hasDS
 // trace callback observes the full dispatch schedule (for the
 // determinism golden).
 func Run(sc Scenario, trace func(name string, at uint64)) *Result {
+	return runWith(sc, trace, 1)
+}
+
+// RunSharded runs the scenario on a sharded machine: MPMs are spread
+// over up to shards engine shards (subject to shardPlan's co-location
+// constraints) and the result must be byte-identical to Run's — that
+// equivalence is cksim's oracle for the parallel engine.
+func RunSharded(sc Scenario, trace func(name string, at uint64), shards int) *Result {
+	return runWith(sc, trace, shards)
+}
+
+// shardPlan assigns each MPM a shard. Interconnect traffic (fiber,
+// Ethernet) is shard-safe by construction, but two couplings live
+// outside the simulated machine and force co-location:
+//
+//   - the DSM nodes 0 and 1 share harness-level ping-pong state
+//     (dsmReady/dsmAt), so they must share one timeline;
+//   - a probabilistic fault plan (0 < Prob < 1) of a per-kernel or
+//     per-MPM kind draws from per-shard RNG streams in per-shard hook
+//     order, so splitting its targets would change which events get
+//     faulted versus the serial run. Co-locating every MPM keeps the
+//     single serial draw order. Frame-fault kinds are exempt: the
+//     harness only arms NICs, and both NICs live on MPM 0.
+//
+// The returned map is nil when one shard (or fewer MPMs) makes the
+// question moot.
+func shardPlan(sc *Scenario, shards int) []int {
+	if shards <= 1 || sc.MPMs <= 1 {
+		return nil
+	}
+	for _, f := range sc.Faults {
+		if f.Prob > 0 && f.Prob < 1 {
+			switch f.Kind {
+			case chaos.DropSignal, chaos.DupSignal, chaos.CorruptWriteback, chaos.WalkError:
+				return make([]int, sc.MPMs) // all MPMs on shard 0
+			}
+		}
+	}
+	group := make([]int, sc.MPMs)
+	for i := range group {
+		group[i] = i
+	}
+	if sc.Mix.DSM && sc.MPMs >= 2 {
+		group[1] = group[0]
+	}
+	// Fold the distinct groups onto the available shards, in MPM order.
+	plan := make([]int, sc.MPMs)
+	seen := make(map[int]int)
+	next := 0
+	for i, g := range group {
+		id, ok := seen[g]
+		if !ok {
+			id = next % shards
+			seen[g] = id
+			next++
+		}
+		plan[i] = id
+	}
+	return plan
+}
+
+func runWith(sc Scenario, trace func(name string, at uint64), shards int) *Result {
 	res := &Result{Scenario: sc}
 	h := &harness{sc: sc, horizon: hw.CyclesFromMicros(float64(sc.HorizonUS))}
 	for _, f := range sc.Faults {
@@ -211,10 +282,12 @@ func Run(sc Scenario, trace func(name string, at uint64)) *Result {
 	cfg := hw.DefaultConfig()
 	cfg.MPMs = sc.MPMs
 	cfg.CPUsPerMPM = sc.CPUsPerMPM
+	cfg.Shards = shards
+	cfg.ShardMap = shardPlan(&sc, shards)
 	h.m = hw.NewMachine(cfg)
 	h.lastByName = make(map[string]uint64)
 	h.hash = fnvOffset
-	h.m.Eng.TraceDispatch = func(name string, at uint64) {
+	h.m.SetTraceDispatch(func(name string, at uint64) {
 		h.dispatches++
 		if last, ok := h.lastByName[name]; ok && at < last && !h.monoBad {
 			h.monoBad = true
@@ -225,7 +298,7 @@ func Run(sc Scenario, trace func(name string, at uint64)) *Result {
 		if trace != nil {
 			trace(name, at)
 		}
-	}
+	})
 
 	var kernels []*ck.Kernel
 	for i := 0; i < sc.MPMs; i++ {
@@ -264,14 +337,14 @@ func Run(sc Scenario, trace func(name string, at uint64)) *Result {
 		n.s = s
 	}
 
-	h.m.Eng.MaxSteps = 2_000_000_000
+	h.m.SetMaxSteps(2_000_000_000)
 	runErr := h.m.Run(math.MaxUint64)
 	h.finish(runErr)
 
 	res.Failures = h.failures
 	res.FailuresTruncated = h.trunc
-	res.FinalClock = h.m.Eng.Now()
-	res.Steps = h.m.Eng.Steps()
+	res.FinalClock = h.m.Now()
+	res.Steps = h.m.Steps()
 	res.Dispatches = h.dispatches
 	res.Hash = h.hash
 	res.FaultStats = h.inj.Stats
@@ -284,9 +357,9 @@ func RunSeed(seed uint64) *Result { return Run(Generate(seed), nil) }
 // SeedWorkload adapts one seed to the exp determinism-golden harness:
 // it returns the final clock and step count, and an error carrying the
 // fingerprint if any oracle fired.
-func SeedWorkload(seed uint64) func(trace func(name string, at uint64)) (uint64, uint64, error) {
-	return func(trace func(name string, at uint64)) (uint64, uint64, error) {
-		r := Run(Generate(seed), trace)
+func SeedWorkload(seed uint64) func(trace func(name string, at uint64), shards int) (uint64, uint64, error) {
+	return func(trace func(name string, at uint64), shards int) (uint64, uint64, error) {
+		r := RunSharded(Generate(seed), trace, shards)
 		if r.Failed() {
 			return r.FinalClock, r.Steps, fmt.Errorf("cksim seed %d failed:\n%s", seed, r.Fingerprint())
 		}

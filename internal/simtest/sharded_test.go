@@ -1,0 +1,50 @@
+package simtest
+
+import (
+	"testing"
+)
+
+// TestShardedSweepMatchesSerial is cksim's oracle for the parallel
+// engine: for a fixed seed range the sharded run must reproduce the
+// serial fingerprint byte for byte — same failures, same dispatch
+// hash, same step count, same final clock, same fault statistics.
+func TestShardedSweepMatchesSerial(t *testing.T) {
+	last := uint64(50)
+	if testing.Short() {
+		last = 12
+	}
+	for seed := uint64(1); seed <= last; seed++ {
+		sc := Generate(seed)
+		serial := Run(sc, nil)
+		sharded := RunSharded(sc, nil, 4)
+		if serial.Fingerprint() != sharded.Fingerprint() {
+			t.Fatalf("seed %d: sharded fingerprint diverged from serial\n--- serial ---\n%s--- shards=4 ---\n%s",
+				seed, serial.Fingerprint(), sharded.Fingerprint())
+		}
+	}
+}
+
+// TestShardedTraceMatchesSerial compares the full merged dispatch
+// schedule, not just its hash, on a multi-MPM scenario that actually
+// crosses shards.
+func TestShardedTraceMatchesSerial(t *testing.T) {
+	type ev struct {
+		name string
+		at   uint64
+	}
+	for _, seed := range []uint64{17, 29, 44} {
+		sc := Generate(seed)
+		var serial, sharded []ev
+		rs := Run(sc, func(name string, at uint64) { serial = append(serial, ev{name, at}) })
+		rp := RunSharded(sc, func(name string, at uint64) { sharded = append(sharded, ev{name, at}) }, 3)
+		if rs.Hash != rp.Hash || len(serial) != len(sharded) {
+			t.Fatalf("seed %d: schedule diverged: %d/%016x serial vs %d/%016x sharded",
+				seed, len(serial), rs.Hash, len(sharded), rp.Hash)
+		}
+		for i := range serial {
+			if serial[i] != sharded[i] {
+				t.Fatalf("seed %d: dispatch %d: serial %v vs sharded %v", seed, i, serial[i], sharded[i])
+			}
+		}
+	}
+}
