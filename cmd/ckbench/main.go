@@ -27,6 +27,7 @@ import (
 	"strings"
 
 	"vpp/internal/exp"
+	"vpp/internal/sim"
 	"vpp/internal/simk"
 )
 
@@ -139,16 +140,73 @@ func runHostperf(writeJSON bool) error {
 	if err != nil {
 		return err
 	}
+
+	// Under -tags cksan the measurement does not replace the clean
+	// baseline: it is merged into the existing report as the Cksan
+	// overhead section, so one BENCH_hostperf.json carries both builds.
+	if sim.SanEnabled() {
+		base, err := readHostperfBaseline()
+		if err != nil {
+			return fmt.Errorf("cksan hostperf needs a clean baseline; run a clean `ckbench -hostperf -json` first (%v)", err)
+		}
+		base.Cksan = &exp.HostperfCksan{
+			EngineStepsPerSec:  r.EngineStepsPerSec,
+			TranslateNsPerOp:   r.TranslateNsPerOp,
+			HostNsPerSimMicro:  r.HostNsPerSimMicro,
+			EngineStepOverhead: ratio(base.EngineStepsPerSec, r.EngineStepsPerSec),
+			TranslateOverhead:  ratio(r.TranslateNsPerOp, base.TranslateNsPerOp),
+			BootOverhead:       ratio(r.HostNsPerSimMicro, base.HostNsPerSimMicro),
+		}
+		fmt.Print(r)
+		fmt.Printf("cksan overhead vs clean:  engine step %.2fx, translate %.2fx, boot %.2fx\n",
+			base.Cksan.EngineStepOverhead, base.Cksan.TranslateOverhead, base.Cksan.BootOverhead)
+		if writeJSON {
+			return writeHostperf(base)
+		}
+		return nil
+	}
+
+	// A clean run refreshes the baseline but keeps any previously
+	// recorded sanitizer section until the next cksan run replaces it.
+	if old, err := readHostperfBaseline(); err == nil {
+		r.Cksan = old.Cksan
+	}
 	fmt.Print(r)
 	if writeJSON {
-		b, err := json.MarshalIndent(r, "", "  ")
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile("BENCH_hostperf.json", append(b, '\n'), 0o644); err != nil {
-			return err
-		}
-		fmt.Println("wrote BENCH_hostperf.json")
+		return writeHostperf(r)
 	}
 	return nil
+}
+
+func readHostperfBaseline() (exp.HostperfReport, error) {
+	var base exp.HostperfReport
+	b, err := os.ReadFile("BENCH_hostperf.json")
+	if err != nil {
+		return base, err
+	}
+	if err := json.Unmarshal(b, &base); err != nil {
+		return base, err
+	}
+	return base, nil
+}
+
+func writeHostperf(r exp.HostperfReport) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_hostperf.json", append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote BENCH_hostperf.json")
+	return nil
+}
+
+// ratio guards the overhead divisions against a zero denominator from a
+// degenerate measurement.
+func ratio(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return num / den
 }

@@ -9,6 +9,7 @@
 //	cksim -seed 42 -shrink         on failure, also emit a minimized replay
 //	cksim -seeds 500 -start 1      sweep seeds [1, 501), one line each
 //	cksim -replay cksim-fail-42.json   re-run a recorded reproduction
+//	cksim -seeds 40 -shards 4 -san     sanitized sweep (requires -tags cksan)
 //
 // On failure the full scenario is written to cksim-fail-<seed>.json
 // (and cksim-min-<seed>.json when shrinking); either file feeds -replay.
@@ -21,6 +22,7 @@ import (
 	"fmt"
 	"os"
 
+	"vpp/internal/sim"
 	"vpp/internal/simtest"
 )
 
@@ -33,8 +35,17 @@ func main() {
 		shrink  = flag.Bool("shrink", false, "on failure, shrink to a minimal scenario")
 		shrinkN = flag.Int("shrinkruns", 60, "re-run budget for -shrink")
 		shards  = flag.Int("shards", 1, "engine shards (results are byte-identical to -shards 1)")
+		san     = flag.Bool("san", false, "require the cksan runtime ownership sanitizer (build with -tags cksan)")
 	)
 	flag.Parse()
+
+	// -san is a guard, not a switch: the sanitizer is compiled in (or
+	// not) by the cksan build tag, and a sweep that silently ran without
+	// it would claim coverage it did not have.
+	if *san && !sim.SanEnabled() {
+		fmt.Fprintln(os.Stderr, "cksim: -san requires a binary built with -tags cksan")
+		os.Exit(2)
+	}
 
 	switch {
 	case *replay != "":

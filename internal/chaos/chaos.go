@@ -14,6 +14,7 @@ package chaos
 
 import (
 	"fmt"
+	//ckvet:allow shardsafe Stats counters are bumped from hooks on every shard concurrently and only read after Cluster.Run returns
 	"sync/atomic"
 
 	"vpp/internal/ck"
@@ -173,6 +174,7 @@ func (in *Injector) has(kinds ...Kind) bool {
 // signal/writeback/walk hooks are installed only for fault kinds the
 // plan actually contains, so an empty plan changes nothing.
 func (in *Injector) Arm(m *hw.Machine, kernels ...*ck.Kernel) {
+	sanCheckArm(m)
 	for i := range in.Plan.Faults {
 		f := &in.Plan.Faults[i]
 		if f.Kind != CrashKernel {
@@ -209,6 +211,7 @@ func (in *Injector) ArmNIC(n *dev.NIC) {
 	if !in.has(DropFrame, DupFrame, DelayFrame) {
 		return
 	}
+	sanCheckArm(n.MPM.Machine)
 	n.TxFault = in.frameFaultOn(n.MPM.Shard, in.rngFor(n.MPM.Shard))
 }
 
@@ -217,6 +220,7 @@ func (in *Injector) ArmFiber(p *dev.FiberPort) {
 	if !in.has(DropFrame, DupFrame, DelayFrame) {
 		return
 	}
+	sanCheckArm(p.MPM.Machine)
 	p.TxFault = in.frameFaultOn(p.MPM.Shard, in.rngFor(p.MPM.Shard))
 }
 

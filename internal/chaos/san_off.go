@@ -1,0 +1,9 @@
+//go:build !cksan
+
+package chaos
+
+import "vpp/internal/hw"
+
+// No-op half of the cksan runtime ownership sanitizer; see san_on.go.
+
+func sanCheckArm(m *hw.Machine) {}

@@ -1,0 +1,9 @@
+//go:build !cksan
+
+package ck
+
+import "vpp/internal/hw"
+
+// No-op half of the cksan runtime ownership sanitizer; see san_on.go.
+
+func (k *Kernel) sanCheckAccess(e *hw.Exec, op string) {}

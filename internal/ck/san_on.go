@@ -1,0 +1,23 @@
+//go:build cksan
+
+package ck
+
+import (
+	"fmt"
+
+	"vpp/internal/hw"
+)
+
+// sanCheckAccess verifies, on every entry into the Cache Kernel's
+// object-cache funnel, that the trapping execution context is co-sharded
+// with the kernel whose descriptor caches it is about to mutate. A
+// Cache Kernel serves exactly its own MPM group; an execution from a
+// foreign shard reaching a kernel's caches means shard-owned state is
+// being mutated from outside the shard's engine (DESIGN.md §11).
+func (k *Kernel) sanCheckAccess(e *hw.Exec, op string) {
+	if e == nil || e.MPM == nil || k.MPM == nil || e.MPM.Shard == k.MPM.Shard {
+		return
+	}
+	panic(fmt.Sprintf("cksan: t=%d: %s by exec %q (MPM %d, shard %d) against the cache kernel of MPM %d (shard %d)",
+		k.MPM.Shard.Now(), op, e.Name, e.MPM.ID, e.MPM.Shard.Shard(), k.MPM.ID, k.MPM.Shard.Shard()))
+}

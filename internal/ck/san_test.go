@@ -1,0 +1,34 @@
+//go:build cksan
+
+package ck
+
+import (
+	"strings"
+	"testing"
+
+	"vpp/internal/hw"
+)
+
+// A Cache Kernel call by an execution context on a different shard is a
+// cross-shard mutation of the kernel's descriptor caches; sanCheckAccess
+// must reject it at the funnel before any state is touched.
+func TestCksanCrossShardKernelCall(t *testing.T) {
+	cfg := hw.DefaultConfig()
+	cfg.MPMs, cfg.CPUsPerMPM, cfg.Shards = 2, 1, 2
+	m := hw.NewMachine(cfg)
+	k, err := New(m.MPMs[0], Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stray := m.MPMs[1].NewExec("stray", func(*hw.Exec) {})
+	defer func() {
+		r := recover()
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "cksan:") {
+			t.Fatalf("expected a cksan report, got %v", r)
+		}
+	}()
+	_, _ = k.LoadKernel(stray, KernelAttrs{Name: "foreign"})
+	t.Fatal("cross-shard cache-kernel call not caught")
+}

@@ -60,6 +60,23 @@ type HostperfReport struct {
 	HostCPUs       int                  `json:"host_cpus"`
 	ShardedMPMs    int                  `json:"sharded_mpms"`
 	ShardedScaling []HostperfShardPoint `json:"sharded_engine_scaling"`
+
+	// Cksan records the runtime ownership sanitizer's overhead: a
+	// -tags cksan ckbench run re-measures the microbenchmarks and
+	// stores them with their ratios against the clean numbers above.
+	// Absent when no sanitizer run has been merged into the report.
+	Cksan *HostperfCksan `json:"cksan,omitempty"`
+}
+
+// HostperfCksan is the sanitized build's throughput next to the clean
+// build's, as overhead ratios (sanitized cost / clean cost; 1.0 = free).
+type HostperfCksan struct {
+	EngineStepsPerSec  float64 `json:"engine_steps_per_sec"`
+	TranslateNsPerOp   float64 `json:"translate_ns_per_op"`
+	HostNsPerSimMicro  float64 `json:"boot_host_ns_per_sim_micro"`
+	EngineStepOverhead float64 `json:"engine_step_overhead"`
+	TranslateOverhead  float64 `json:"translate_overhead"`
+	BootOverhead       float64 `json:"boot_overhead"`
 }
 
 // HostperfShardPoint is one shard count's aggregate engine throughput.

@@ -7,6 +7,7 @@ package dev
 
 import (
 	"fmt"
+	//ckvet:allow shardsafe Wire stats are bumped from transmit paths on every attached shard concurrently and only read after Run
 	"sync/atomic"
 
 	"vpp/internal/hw"

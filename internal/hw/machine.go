@@ -247,6 +247,7 @@ func (c *CPU) ArmTimerAt(t uint64) {
 //
 //ckvet:allow chargepath raw dispatch bookkeeping; the supervisor's scheduler charges CostSchedule and context-restore costs
 func (c *CPU) Dispatch(e *Exec) {
+	sanCheckDispatch(c, e)
 	if c.Cur != nil {
 		panic(fmt.Sprintf("hw: dispatch %q onto busy cpu %d (running %q)", e.Name, c.ID, c.Cur.Name))
 	}

@@ -1,0 +1,7 @@
+//go:build !cksan
+
+package hw
+
+// No-op half of the cksan runtime ownership sanitizer; see san_on.go.
+
+func sanCheckDispatch(c *CPU, e *Exec) {}

@@ -1,0 +1,18 @@
+//go:build cksan
+
+package hw
+
+import "fmt"
+
+// sanCheckDispatch verifies, on every CPU dispatch, that the execution
+// context being placed on the CPU is owned by the CPU's own shard: an
+// Exec's coroutine lives on its MPM's engine, so dispatching it onto a
+// CPU of a different shard is a cross-shard mutation that bypassed the
+// epoch machinery (DESIGN.md §11).
+func sanCheckDispatch(c *CPU, e *Exec) {
+	if e.MPM == nil || c.MPM == nil || e.MPM.Shard == c.MPM.Shard {
+		return
+	}
+	panic(fmt.Sprintf("cksan: t=%d: cpu %d (MPM %d, shard %d) dispatching exec %q owned by MPM %d (shard %d)",
+		c.Clock.Now(), c.ID, c.MPM.ID, c.MPM.Shard.Shard(), e.Name, e.MPM.ID, e.MPM.Shard.Shard()))
+}

@@ -1,0 +1,29 @@
+//go:build cksan
+
+package hw_test
+
+import (
+	"strings"
+	"testing"
+
+	"vpp/internal/hw"
+)
+
+// Dispatching an execution context onto a CPU of a different shard is a
+// cross-shard mutation the sanitizer must reject with provenance.
+func TestCksanCrossShardDispatch(t *testing.T) {
+	cfg := hw.DefaultConfig()
+	cfg.MPMs, cfg.CPUsPerMPM, cfg.Shards = 2, 1, 2
+	m := hw.NewMachine(cfg)
+
+	e := m.MPMs[1].NewExec("stray", func(*hw.Exec) {})
+	defer func() {
+		r := recover()
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "cksan:") {
+			t.Fatalf("expected a cksan report, got %v", r)
+		}
+	}()
+	m.MPMs[0].CPUs[0].Dispatch(e)
+	t.Fatal("cross-shard dispatch not caught")
+}

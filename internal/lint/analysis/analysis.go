@@ -73,6 +73,19 @@ type allowDirective struct {
 	analyzer string
 	reason   string
 	pos      token.Pos
+	used     bool
+}
+
+// AllowRecord is one //ckvet:allow directive as seen by the audit mode:
+// where it is, what it suppresses, why, and whether any diagnostic
+// actually matched it during the run. Stale (unused) allows are the
+// audit's reason to fail: they suppress nothing and rot into cover for
+// future regressions.
+type AllowRecord struct {
+	Pos      token.Position
+	Analyzer string
+	Reason   string
+	Used     bool
 }
 
 const allowPrefix = "//ckvet:allow"
@@ -81,8 +94,8 @@ const allowPrefix = "//ckvet:allow"
 // directives (no analyzer name, or no reason) are reported as
 // diagnostics of the pseudo-analyzer "ckvet" so they cannot silently
 // fail to suppress.
-func parseAllows(fset *token.FileSet, f *ast.File) (byLine map[int][]allowDirective, malformed []Diagnostic) {
-	byLine = make(map[int][]allowDirective)
+func parseAllows(fset *token.FileSet, f *ast.File) (byLine map[int][]*allowDirective, malformed []Diagnostic) {
+	byLine = make(map[int][]*allowDirective)
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
 			if !strings.HasPrefix(c.Text, allowPrefix) {
@@ -105,7 +118,7 @@ func parseAllows(fset *token.FileSet, f *ast.File) (byLine map[int][]allowDirect
 				})
 				continue
 			}
-			byLine[line] = append(byLine[line], allowDirective{
+			byLine[line] = append(byLine[line], &allowDirective{
 				line:     line,
 				analyzer: fields[0],
 				reason:   strings.Join(fields[1:], " "),
@@ -121,10 +134,19 @@ func parseAllows(fset *token.FileSet, f *ast.File) (byLine map[int][]allowDirect
 // for that analyzer on the same line or the line above are suppressed.
 // Malformed directives are themselves diagnostics.
 func RunAnalyzers(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	diags, _, err := RunAnalyzersAudit(analyzers, fset, files, pkg, info)
+	return diags, err
+}
+
+// RunAnalyzersAudit is RunAnalyzers plus the allow ledger: it also
+// returns every //ckvet:allow directive seen in the package, marked
+// Used when at least one diagnostic matched it. Drivers implementing an
+// audit mode (ckvet -allows) fail on records with Used == false.
+func RunAnalyzersAudit(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, []AllowRecord, error) {
 	var out []Diagnostic
 
 	// Suppression index over every file of the package.
-	allows := make(map[string]map[int][]allowDirective)
+	allows := make(map[string]map[int][]*allowDirective)
 	for _, f := range files {
 		name := fset.Position(f.Pos()).Filename
 		byLine, malformed := parseAllows(fset, f)
@@ -141,7 +163,7 @@ func RunAnalyzers(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File,
 			TypesInfo: info,
 		}
 		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("%s: %v", a.Name, err)
+			return nil, nil, fmt.Errorf("%s: %v", a.Name, err)
 		}
 		for _, d := range pass.diags {
 			p := fset.Position(d.Pos)
@@ -165,18 +187,42 @@ func RunAnalyzers(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File,
 		}
 		return out[i].Message < out[j].Message
 	})
-	return out, nil
-}
 
-// allowed reports whether a directive for analyzer covers line (same
-// line or the line immediately above, matching //nolint convention).
-func allowed(byLine map[int][]allowDirective, line int, analyzer string) bool {
-	for _, l := range [2]int{line, line - 1} {
-		for _, d := range byLine[l] {
-			if d.analyzer == analyzer {
-				return true
+	var records []AllowRecord
+	for _, f := range files {
+		name := fset.Position(f.Pos()).Filename
+		for _, ds := range allows[name] {
+			for _, d := range ds {
+				records = append(records, AllowRecord{
+					Pos:      fset.Position(d.pos),
+					Analyzer: d.analyzer,
+					Reason:   d.reason,
+					Used:     d.used,
+				})
 			}
 		}
 	}
-	return false
+	sort.Slice(records, func(i, j int) bool {
+		if records[i].Pos.Filename != records[j].Pos.Filename {
+			return records[i].Pos.Filename < records[j].Pos.Filename
+		}
+		return records[i].Pos.Line < records[j].Pos.Line
+	})
+	return out, records, nil
+}
+
+// allowed reports whether a directive for analyzer covers line (same
+// line or the line immediately above, matching //nolint convention),
+// marking any matching directive used for the audit ledger.
+func allowed(byLine map[int][]*allowDirective, line int, analyzer string) bool {
+	ok := false
+	for _, l := range [2]int{line, line - 1} {
+		for _, d := range byLine[l] {
+			if d.analyzer == analyzer {
+				d.used = true
+				ok = true
+			}
+		}
+	}
+	return ok
 }

@@ -1,0 +1,114 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"vpp/internal/lint/analysis"
+)
+
+// flagBad reports every package-level var named bad*.
+var flagBad = &analysis.Analyzer{
+	Name: "flagbad",
+	Doc:  "flag package-level vars named bad*",
+	Run: func(pass *analysis.Pass) error {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, name := range vs.Names {
+						if strings.HasPrefix(name.Name, "bad") {
+							pass.Reportf(name.Pos(), "var %s is bad", name.Name)
+						}
+					}
+				}
+			}
+		}
+		return nil
+	},
+}
+
+func check(t *testing.T, src string) ([]analysis.Diagnostic, []analysis.AllowRecord) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	pkg, err := (&types.Config{}).Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, allows, err := analysis.RunAnalyzersAudit([]*analysis.Analyzer{flagBad}, fset, []*ast.File{f}, pkg, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags, allows
+}
+
+func TestAllowSuppressesAndIsUsed(t *testing.T) {
+	diags, allows := check(t, `package p
+
+//ckvet:allow flagbad shared by design
+var badOne = 1
+
+var badTwo = 2
+`)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "badTwo") {
+		t.Fatalf("want exactly the badTwo diagnostic, got %v", diags)
+	}
+	if len(allows) != 1 || !allows[0].Used {
+		t.Fatalf("want one used allow record, got %+v", allows)
+	}
+	if allows[0].Analyzer != "flagbad" || allows[0].Reason != "shared by design" {
+		t.Fatalf("allow record mismatch: %+v", allows[0])
+	}
+}
+
+func TestStaleAllowIsRecordedUnused(t *testing.T) {
+	_, allows := check(t, `package p
+
+//ckvet:allow flagbad nothing here triggers it
+var fine = 1
+`)
+	if len(allows) != 1 || allows[0].Used {
+		t.Fatalf("want one stale (unused) allow record, got %+v", allows)
+	}
+}
+
+func TestMalformedAllowIsDiagnosed(t *testing.T) {
+	diags, _ := check(t, `package p
+
+//ckvet:allow flagbad
+var badOne = 1
+`)
+	var sawMalformed, sawBad bool
+	for _, d := range diags {
+		if d.Analyzer == "ckvet" && strings.Contains(d.Message, "missing reason") {
+			sawMalformed = true
+		}
+		if strings.Contains(d.Message, "badOne") {
+			sawBad = true
+		}
+	}
+	if !sawMalformed || !sawBad {
+		t.Fatalf("want malformed-allow diagnostic and unsuppressed finding, got %v", diags)
+	}
+}

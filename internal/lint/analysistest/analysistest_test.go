@@ -1,0 +1,50 @@
+package analysistest_test
+
+import (
+	"fmt"
+	"go/ast"
+	"testing"
+
+	"vpp/internal/lint/analysis"
+	"vpp/internal/lint/analysistest"
+)
+
+// toyvet flags package-level vars named bad*: enough surface to prove
+// want matching, //ckvet:allow suppression, and that the harness holds
+// no shared mutable state across concurrent runs (the race job runs
+// these parallel subtests under -race).
+var toyvet = &analysis.Analyzer{
+	Name: "toyvet",
+	Doc:  "flag package-level vars named bad*",
+	Run: func(pass *analysis.Pass) error {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, name := range vs.Names {
+						if len(name.Name) >= 3 && name.Name[:3] == "bad" {
+							pass.Reportf(name.Pos(), "package-level var %s is bad", name.Name)
+						}
+					}
+				}
+			}
+		}
+		return nil
+	},
+}
+
+func TestHarness(t *testing.T) {
+	for i := 0; i < 4; i++ {
+		t.Run(fmt.Sprintf("run%d", i), func(t *testing.T) {
+			t.Parallel()
+			analysistest.Run(t, "testdata/harness", toyvet, "toy")
+		})
+	}
+}

@@ -1,0 +1,12 @@
+// Package toy is the fixture for the harness self-test: the toyvet
+// analyzer flags every package-level var whose name starts with "bad".
+package toy
+
+var badOne = 1 // want `package-level var badOne is bad`
+
+//ckvet:allow toyvet fixture demonstrates suppression
+var badTwo = 2
+
+var badThree = 3 // want `package-level var badThree is bad`
+
+var good = 4

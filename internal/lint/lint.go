@@ -21,6 +21,15 @@
 //     ordinary events in the caching model and must be handled (or
 //     discarded explicitly with `_ =`).
 //
+//   - Every piece of simulated state is owned by exactly one engine
+//     shard, and cross-shard effects must ride the epoch outbox.
+//     shardsafe rejects shard-owned state escaping to package level,
+//     raw host synchronization in shard-owned code, scheduling on
+//     engines reached through the machine topology, engine-heap
+//     captures in cross-shard closures, and fault hooks or crash plans
+//     anchored on the wrong shard. The cksan runtime sanitizer
+//     (-tags cksan) covers what this over-approximation admits.
+//
 // Findings are suppressed line-by-line with
 //
 //	//ckvet:allow <analyzer> <reason>
@@ -38,7 +47,7 @@ import (
 )
 
 // All is the ckvet analyzer suite.
-var All = []*analysis.Analyzer{Detmap, Chargepath, Invariantcall}
+var All = []*analysis.Analyzer{Detmap, Chargepath, Invariantcall, Shardsafe}
 
 // DeterministicPrefixes lists import-path prefixes whose packages run
 // under the simulation's virtual clock and therefore must be

@@ -1,0 +1,13 @@
+package lint_test
+
+import (
+	"testing"
+
+	"vpp/internal/lint"
+	"vpp/internal/lint/analysistest"
+)
+
+func TestShardsafe(t *testing.T) {
+	analysistest.Run(t, "testdata/shardsafe", lint.Shardsafe, "vpp/internal/shardfix")
+	analysistest.Run(t, "testdata/shardsafe", lint.Shardsafe, "vpp/internal/rawsync")
+}

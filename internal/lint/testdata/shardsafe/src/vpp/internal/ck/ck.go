@@ -1,0 +1,13 @@
+// Package ck stubs the Cache Kernel for the shardsafe fixture.
+package ck
+
+import "vpp/internal/hw"
+
+type Kernel struct {
+	MPM            *hw.MPM
+	SignalFault    func(to uint64, value uint32) bool
+	WritebackFault func(kind string, id uint64) bool
+}
+
+func (k *Kernel) Crash()      {}
+func (k *Kernel) Now() uint64 { return 0 }

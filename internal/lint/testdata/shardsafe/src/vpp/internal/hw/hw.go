@@ -1,0 +1,32 @@
+// Package hw stubs the hardware layer for the shardsafe fixture.
+package hw
+
+import "vpp/internal/sim"
+
+type Machine struct {
+	MPMs    []*MPM
+	Cluster *sim.Cluster
+}
+
+type MPM struct {
+	ID        int
+	Machine   *Machine
+	Shard     *sim.Engine
+	CPUs      []*CPU
+	WalkFault func(e *Exec, va uint32) bool
+}
+
+type CPU struct {
+	MPM   *MPM
+	Clock *sim.Clock
+}
+
+func (c *CPU) Dispatch(e *Exec) {}
+
+type Exec struct {
+	Name string
+	MPM  *MPM
+}
+
+func (e *Exec) Now() uint64 { return 0 }
+func (e *Exec) Kill()       {}

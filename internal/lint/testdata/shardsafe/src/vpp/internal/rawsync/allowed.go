@@ -1,0 +1,14 @@
+package rawsync
+
+import (
+	//ckvet:allow shardsafe fixture stats counters are process-wide atomics read after Run
+	"sync/atomic"
+)
+
+type stats struct {
+	hits uint64
+}
+
+func record(s *stats) {
+	atomic.AddUint64(&s.hits, 1)
+}

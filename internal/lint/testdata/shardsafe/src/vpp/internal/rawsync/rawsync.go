@@ -1,0 +1,26 @@
+// Package rawsync is the shardsafe fixture for the raw host
+// synchronization checks: sync/atomic imports and channel operations in
+// shard-owned code hide cross-shard communication from the epoch
+// machinery.
+package rawsync
+
+import (
+	"sync"        // want `import of sync in shard-owned code`
+	"sync/atomic" // want `import of sync/atomic in shard-owned code`
+)
+
+type counters struct {
+	mu sync.Mutex
+	n  uint64
+}
+
+func bump(c *counters) {
+	atomic.AddUint64(&c.n, 1)
+}
+
+func channels() {
+	ch := make(chan int, 4) // want `raw channel creation in shard-owned code`
+	ch <- 1                 // want `raw channel send in shard-owned code`
+	<-ch                    // want `raw channel receive in shard-owned code`
+	close(ch)               // want `raw channel close in shard-owned code`
+}

@@ -1,0 +1,123 @@
+// Package shardfix is the shardsafe fixture: each function pairs a
+// violation with the sanctioned shape (and, where useful, an allowed
+// variant), mirroring the real ownership rules of the sharded engine.
+package shardfix
+
+import (
+	"vpp/internal/ck"
+	"vpp/internal/hw"
+	"vpp/internal/sim"
+)
+
+// ---------------------------------------------------------------------
+// Package-level escapes: shard-owned state must hang off its shard.
+
+var hotShard *sim.Engine // want `package-level variable hotShard can reach shard-owned sim\.Engine`
+
+var execsByName map[string]*hw.Exec // want `package-level variable execsByName can reach shard-owned hw\.Exec`
+
+type registry struct {
+	kernels []*ck.Kernel
+}
+
+var globalRegistry registry // want `package-level variable globalRegistry can reach shard-owned ck\.Kernel`
+
+//ckvet:allow shardsafe fixture read-only topology table built before Run
+var allowedTable []*hw.MPM
+
+var names []string // value state with no shard owner: not flagged
+
+// ---------------------------------------------------------------------
+// Foreign-topology scheduling: an engine reached through the machine
+// topology may be any shard's.
+
+func crossScheduleFlagged(e *hw.Exec) {
+	e.MPM.Machine.MPMs[1].Shard.ScheduleAt(10, func() {}) // want `ScheduleAt on an engine reached through the machine topology \(an index into Machine\.MPMs\)`
+}
+
+func crossUnparkFlagged(m *hw.Machine, co *sim.Coro, clk *sim.Clock) {
+	m.MPMs[0].Shard.UnparkOn(co, clk) // want `UnparkOn on an engine reached through the machine topology \(an index into Machine\.MPMs\)`
+}
+
+func clusterEngineFlagged(m *hw.Machine) {
+	m.Cluster.Engine(1).ScheduleAfter(5, func() {}) // want `ScheduleAfter on an engine reached through the machine topology \(Cluster\.Engine\)`
+}
+
+func crossDispatchFlagged(e *hw.Exec, other *hw.Exec) {
+	e.MPM.Machine.MPMs[0].CPUs[0].Dispatch(other) // want `Dispatch on an engine reached through the machine topology \(an index into Machine\.MPMs\)`
+}
+
+func ownShardClean(e *hw.Exec) {
+	e.MPM.Shard.ScheduleAt(10, func() {}) // own anchor's shard: fine
+}
+
+func crossScheduleAllowed(e *hw.Exec) {
+	//ckvet:allow shardsafe fixture delivery provably lands on a co-located shard
+	e.MPM.Machine.MPMs[1].Shard.ScheduleAt(10, func() {})
+}
+
+func crossViaOutboxClean(e *hw.Exec, peer *hw.MPM) {
+	// The sanctioned path: the destination engine is only named as a
+	// ScheduleCrossAt destination, never mutated directly.
+	e.MPM.Shard.ScheduleCrossAt(peer.Shard, 100, func() {})
+}
+
+// ---------------------------------------------------------------------
+// Cross-shard closures run on the destination shard: engine-heap
+// objects captured from the source are foreign there.
+
+func crossClosureFlagged(src *sim.Engine, dst *sim.Engine, co *sim.Coro, clk *sim.Clock) {
+	src.ScheduleCrossAt(dst, 100, func() {
+		src.ScheduleAt(200, func() {}) // want `cross-shard closure calls ScheduleAt on a captured engine`
+		clk.AdvanceTo(300)             // want `cross-shard closure calls AdvanceTo on a captured clock`
+	})
+}
+
+func crossClosureDstClean(src *sim.Engine, dst *sim.Engine, co *sim.Coro, clk *sim.Clock) {
+	src.ScheduleCrossAt(dst, 100, func() {
+		dst.UnparkOn(co, clk) // the destination's own heap: the closure runs there
+	})
+}
+
+// ---------------------------------------------------------------------
+// Fault hooks must draw on the shard of the object they are installed
+// on.
+
+func mkSignalHook(eng *sim.Engine) func(to uint64, value uint32) bool {
+	return func(to uint64, value uint32) bool { return false }
+}
+
+func hookMismatchFlagged(k *ck.Kernel, other *ck.Kernel) {
+	k.SignalFault = mkSignalHook(other.MPM.Shard) // want `hook k\.SignalFault draws on other's shard`
+}
+
+func hookMatchedClean(k *ck.Kernel) {
+	k.SignalFault = mkSignalHook(k.MPM.Shard)
+}
+
+func hookMismatchAllowed(k *ck.Kernel, other *ck.Kernel) {
+	//ckvet:allow shardsafe fixture kernels are pinned to one shard by the test's ShardMap
+	k.SignalFault = mkSignalHook(other.MPM.Shard)
+}
+
+// ---------------------------------------------------------------------
+// Crash plans: a fault scheduled on one object's shard must not touch a
+// different kernel or execution.
+
+func crashPlanFlagged(victim *ck.Kernel, other *ck.Kernel) {
+	victim.MPM.Shard.ScheduleAt(500, func() {
+		other.Crash() // want `fault scheduled on victim's shard calls other\.Crash`
+	})
+}
+
+func crashPlanClean(victim *ck.Kernel) {
+	victim.MPM.Shard.ScheduleAt(500, func() {
+		victim.Crash()
+	})
+}
+
+func crashPlanReadClean(victim *ck.Kernel, other *ck.Kernel) {
+	victim.MPM.Shard.ScheduleAt(500, func() {
+		_ = other.Now() // pure read of monotone state: not flagged
+	})
+}

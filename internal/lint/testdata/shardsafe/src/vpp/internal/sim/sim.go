@@ -1,0 +1,28 @@
+// Package sim stubs the engine API for the shardsafe fixture: the
+// analyzer identifies these types by import path and name.
+package sim
+
+type Engine struct{}
+
+func (e *Engine) ScheduleAt(t uint64, fn func())                   {}
+func (e *Engine) ScheduleAfter(d uint64, fn func())                {}
+func (e *Engine) ScheduleCrossAt(dst *Engine, t uint64, fn func()) {}
+func (e *Engine) UnparkOn(co *Coro, c *Clock)                      {}
+func (e *Engine) NewCoro(name string, fn func(*Ctx)) *Coro         { return &Coro{} }
+func (e *Engine) Now() uint64                                      { return 0 }
+func (e *Engine) Shard() int                                       { return 0 }
+
+type Coro struct{}
+
+func (co *Coro) Name() string { return "" }
+
+type Clock struct{}
+
+func (c *Clock) Now() uint64     { return 0 }
+func (c *Clock) AdvanceTo(t uint64) {}
+
+type Ctx struct{}
+
+type Cluster struct{}
+
+func (c *Cluster) Engine(i int) *Engine { return nil }

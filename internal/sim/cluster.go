@@ -59,6 +59,10 @@ type Cluster struct {
 	cursors []int
 	subCur  []int
 	dirty   []bool
+
+	// san is the runtime ownership sanitizer's epoch state; empty
+	// unless built with -tags cksan.
+	san sanClusterState
 }
 
 // shardWorker drives one engine on a dedicated goroutine so a shard's
@@ -90,6 +94,10 @@ func (c *Cluster) Engine(i int) *Engine { return c.engines[i] }
 
 // Shards reports the number of shards.
 func (c *Cluster) Shards() int { return len(c.engines) }
+
+// Running reports whether Run has started: construction-time freedoms
+// (Bound, chaos arming, topology changes) are over once it has.
+func (c *Cluster) Running() bool { return c.running }
 
 // Bound registers a cross-shard interaction latency: no effect
 // originating in one shard may become visible in another sooner than
@@ -192,6 +200,7 @@ func (c *Cluster) Run(until uint64) error {
 		for _, i := range c.ran {
 			c.budget(c.engines[i])
 		}
+		c.sanEpochBegin()
 		for _, i := range c.ran {
 			c.workers[i].req <- bound
 		}
@@ -201,6 +210,7 @@ func (c *Cluster) Run(until uint64) error {
 				maxed = err
 			}
 		}
+		c.sanEpochEnd()
 		if logging {
 			c.barrier()
 		}
@@ -380,6 +390,7 @@ func (c *Cluster) consumeSubs(e *Engine, s, end int) {
 			c.dirty[s] = true
 		case subCross:
 			msg := &e.outbox[sub.msg]
+			c.sanCheckInject(msg)
 			dst := msg.dst
 			ev := dst.newEvent()
 			ev.at, ev.fn, ev.band, ev.seq = msg.at, msg.fn, 1, c.grank

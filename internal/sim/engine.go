@@ -35,6 +35,7 @@ import (
 type Clock struct {
 	name string
 	now  uint64
+	san  sanClockState // shard-ownership tag; empty unless built with -tags cksan
 }
 
 // NewClock returns a clock starting at cycle 0.
@@ -239,6 +240,11 @@ func (e *Engine) Decisions() uint64 { return e.steps }
 // the final clock.
 func (e *Engine) SchedTime() uint64 { return e.schedAt }
 
+// SanEnabled reports whether this binary was built with the cksan
+// runtime ownership sanitizer (-tags cksan). Tools use it to refuse
+// sanitizer runs on unsanitized binaries.
+func SanEnabled() bool { return sanEnabled }
+
 // Shard reports the engine's shard index within its cluster (0 when
 // standalone).
 func (e *Engine) Shard() int { return e.shard }
@@ -314,6 +320,7 @@ func (e *Engine) UnparkOn(co *Coro, clock *Clock) {
 	if clock == nil {
 		panic("sim: unpark with nil clock")
 	}
+	e.sanAdoptClock(clock)
 	co.clock = clock
 	co.runnable = true
 	co.fresh = true

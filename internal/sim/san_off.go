@@ -1,0 +1,24 @@
+//go:build !cksan
+
+package sim
+
+// Without the cksan build tag the ownership sanitizer compiles to
+// nothing: empty state structs and no-op hooks the compiler erases.
+// See san_on.go for what the hooks enforce.
+
+const sanEnabled = false
+
+// sanClockState is the per-clock ownership tag; empty when disabled.
+type sanClockState struct{}
+
+// sanClusterState is the per-cluster epoch fingerprint store; empty
+// when disabled.
+type sanClusterState struct{}
+
+func (e *Engine) sanAdoptClock(c *Clock) {}
+
+func (c *Cluster) sanCheckInject(msg *crossMsg) {}
+
+func (c *Cluster) sanEpochBegin() {}
+
+func (c *Cluster) sanEpochEnd() {}

@@ -1,0 +1,109 @@
+//go:build cksan
+
+// The cksan runtime ownership sanitizer (DESIGN.md §11). Every clock is
+// tagged with the shard that first dispatches on it and every later
+// dispatch is checked against the tag; cross-shard messages are checked
+// at injection time against the destination's progress (a message
+// landing in a shard's past means the latency bound lied); and shards
+// idle during an epoch are fingerprinted before and after it, so a
+// foreign goroutine scheduling directly onto an idle shard — bypassing
+// the ScheduleCrossAt outbox — is caught deterministically at the
+// barrier. Mutations of a shard that is itself running are the data
+// races the sanitizer CI job's -race flag exists for; cksan covers the
+// deterministic remainder. Violations panic with virtual-time-stamped
+// provenance rather than limp on into a corrupted schedule.
+
+package sim
+
+import "fmt"
+
+const sanEnabled = true
+
+// sanClockState tags a clock with the shard that owns it: bound at the
+// first UnparkOn, checked at every later one.
+type sanClockState struct {
+	owner *Engine
+}
+
+// sanAdoptClock binds c to e on first dispatch and panics when a clock
+// owned by one shard is dispatched on by another.
+func (e *Engine) sanAdoptClock(c *Clock) {
+	switch {
+	case c.san.owner == nil:
+		c.san.owner = e
+	case c.san.owner != e:
+		panic(fmt.Sprintf("cksan: t=%d: clock %q owned by shard %d unparked on shard %d",
+			e.now, c.name, c.san.owner.shard, e.shard))
+	}
+}
+
+// sanCheckInject vets a cross-shard message as the barrier injects it
+// into its destination heap.
+func (c *Cluster) sanCheckInject(msg *crossMsg) {
+	dst := msg.dst
+	if dst.cluster != c {
+		panic(fmt.Sprintf("cksan: t=%d: cross-shard message bound for an engine outside this cluster", msg.at))
+	}
+	if msg.at < dst.schedAt {
+		panic(fmt.Sprintf("cksan: t=%d: cross-shard message injected into shard %d's past (shard already at t=%d): latency bound violated",
+			msg.at, dst.shard, dst.schedAt))
+	}
+}
+
+// sanShardFP fingerprints the schedulable state of one idle shard.
+type sanShardFP struct {
+	shard  int
+	events int
+	runq   int
+	subs   int
+	outbox int
+	seq    uint64
+	sched  uint64
+}
+
+// sanClusterState holds the fingerprints of the shards sitting out the
+// current epoch.
+type sanClusterState struct {
+	fps []sanShardFP
+}
+
+func (c *Cluster) sanFP(i int) sanShardFP {
+	e := c.engines[i]
+	return sanShardFP{
+		shard:  i,
+		events: len(e.events),
+		runq:   len(e.runq),
+		subs:   len(e.subs),
+		outbox: len(e.outbox),
+		seq:    e.seq,
+		sched:  e.sched,
+	}
+}
+
+// sanEpochBegin fingerprints every shard not participating in the epoch
+// (computed after c.ran is built, before any worker is released).
+func (c *Cluster) sanEpochBegin() {
+	c.san.fps = c.san.fps[:0]
+idle:
+	for i := range c.engines {
+		for _, r := range c.ran {
+			if r == i {
+				continue idle
+			}
+		}
+		c.san.fps = append(c.san.fps, c.sanFP(i))
+	}
+}
+
+// sanEpochEnd re-fingerprints the idle shards once the workers have
+// joined, before the barrier legally injects cross-shard messages. Any
+// difference means state owned by an idle shard was mutated from
+// outside it during the epoch.
+func (c *Cluster) sanEpochEnd() {
+	for _, fp := range c.san.fps {
+		if now := c.sanFP(fp.shard); now != fp {
+			panic(fmt.Sprintf("cksan: t=%d: idle shard %d mutated during epoch (events %d->%d, runnable %d->%d, seq %d->%d, sched %d->%d): direct scheduling bypassed the cross-shard outbox",
+				c.Now(), fp.shard, fp.events, now.events, fp.runq, now.runq, fp.seq, now.seq, fp.sched, now.sched))
+		}
+	}
+}

@@ -1,0 +1,71 @@
+//go:build cksan
+
+package sim_test
+
+import (
+	"strings"
+	"testing"
+
+	"vpp/internal/sim"
+)
+
+// mustPanicCksan runs fn and fails unless it panics with a cksan report.
+func mustPanicCksan(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected a cksan panic, got none")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "cksan:") {
+			t.Fatalf("expected a cksan report, got %v", r)
+		}
+	}()
+	fn()
+}
+
+// A clock adopted by one shard must not be dispatched on by another:
+// the clock is engine-heap state of the shard that owns its CPU.
+func TestCksanClockOwnership(t *testing.T) {
+	c := sim.NewCluster(2)
+	clk := sim.NewClock("cpu0")
+	co0 := c.Engine(0).NewCoro("a", func(*sim.Ctx) {})
+	c.Engine(0).UnparkOn(co0, clk) // first dispatch binds the owner
+
+	co1 := c.Engine(1).NewCoro("b", func(*sim.Ctx) {})
+	mustPanicCksan(t, func() {
+		c.Engine(1).UnparkOn(co1, clk)
+	})
+}
+
+// A shard sitting out an epoch must come out of it untouched: direct
+// ScheduleAt on a foreign idle shard bypasses the cross-shard outbox
+// and is caught at the epoch boundary fingerprint check.
+func TestCksanIdleShardMutation(t *testing.T) {
+	c := sim.NewCluster(2)
+	c.Engine(0).ScheduleAt(10, func() {
+		c.Engine(1).ScheduleAt(1000, func() {}) // wrong: not via ScheduleCrossAt
+	})
+	mustPanicCksan(t, func() {
+		_ = c.Run(5000)
+	})
+}
+
+// The sanctioned path stays silent: cross-shard effects through
+// ScheduleCrossAt under a registered latency bound raise no report.
+func TestCksanCrossOutboxClean(t *testing.T) {
+	c := sim.NewCluster(2)
+	c.Bound(100)
+	delivered := false
+	e0 := c.Engine(0)
+	e0.ScheduleAt(10, func() {
+		e0.ScheduleCrossAt(c.Engine(1), 110, func() { delivered = true })
+	})
+	if err := c.Run(5000); err != nil {
+		t.Fatal(err)
+	}
+	if !delivered {
+		t.Fatal("cross-shard message not delivered")
+	}
+}
