@@ -12,11 +12,14 @@
 //	a7    ablation: LRU vs application-controlled database paging
 //	rec   crash-recovery latency under a scripted Cache Kernel crash
 //	      (opt-in: not part of "all", like -hostperf)
+//	orch  live cross-MPM kernel migration blackout under a rolling
+//	      upgrade (opt-in; with -json writes BENCH_orchestration.json)
 //
 // -hostperf instead measures host-side simulator throughput (virtual
 // results are unaffected by it); with -json the report is also written
-// to BENCH_hostperf.json — and -exp rec writes BENCH_recovery.json —
-// for comparison across commits (see EXPERIMENTS.md).
+// to BENCH_hostperf.json — and -exp rec / -exp orch write
+// BENCH_recovery.json / BENCH_orchestration.json — for comparison
+// across commits (see EXPERIMENTS.md).
 package main
 
 import (
@@ -122,6 +125,21 @@ func main() {
 				if check(err) {
 					if check(os.WriteFile("BENCH_recovery.json", append(b, '\n'), 0o644)) {
 						fmt.Println("wrote BENCH_recovery.json")
+					}
+				}
+			}
+		}
+	}
+	if want["orch"] {
+		fmt.Printf("=== ORCH: live migration blackout under a rolling upgrade (DESIGN §12) ===\n")
+		res, err := exp.RunOrchestrationWorkload(nil, 1)
+		if check(err) {
+			fmt.Println(res)
+			if *jsonOut {
+				b, err := json.MarshalIndent(res, "", "  ")
+				if check(err) {
+					if check(os.WriteFile("BENCH_orchestration.json", append(b, '\n'), 0o644)) {
+						fmt.Println("wrote BENCH_orchestration.json")
 					}
 				}
 			}

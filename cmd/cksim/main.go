@@ -10,6 +10,8 @@
 //	cksim -seeds 500 -start 1      sweep seeds [1, 501), one line each
 //	cksim -replay cksim-fail-42.json   re-run a recorded reproduction
 //	cksim -seeds 40 -shards 4 -san     sanitized sweep (requires -tags cksan)
+//	cksim -orch -seed 7                run one orchestration-family seed
+//	cksim -orch -seeds 40 -shards 4    sweep the orchestration family
 //
 // On failure the full scenario is written to cksim-fail-<seed>.json
 // (and cksim-min-<seed>.json when shrinking); either file feeds -replay.
@@ -36,6 +38,7 @@ func main() {
 		shrinkN = flag.Int("shrinkruns", 60, "re-run budget for -shrink")
 		shards  = flag.Int("shards", 1, "engine shards (results are byte-identical to -shards 1)")
 		san     = flag.Bool("san", false, "require the cksan runtime ownership sanitizer (build with -tags cksan)")
+		orch    = flag.Bool("orch", false, "run the orchestration family (ckctl rolling upgrades) instead of op streams")
 	)
 	flag.Parse()
 
@@ -47,21 +50,25 @@ func main() {
 		os.Exit(2)
 	}
 
+	gen := simtest.Generate
+	if *orch {
+		gen = simtest.GenerateOrch
+	}
 	switch {
 	case *replay != "":
 		os.Exit(runReplay(*replay, *shards))
 	case *seeds > 0:
-		os.Exit(runSweep(*start, *seeds, *shrink, *shrinkN, *shards))
+		os.Exit(runSweep(gen, *start, *seeds, *shrink, *shrinkN, *shards))
 	case *seed != 0 || flag.Lookup("seed").Value.String() != "0":
-		os.Exit(runOne(*seed, *shrink, *shrinkN, *shards))
+		os.Exit(runOne(gen, *seed, *shrink, *shrinkN, *shards))
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
 }
 
-func runOne(seed uint64, shrink bool, shrinkRuns, shards int) int {
-	res := simtest.RunSharded(simtest.Generate(seed), nil, shards)
+func runOne(gen func(uint64) simtest.Scenario, seed uint64, shrink bool, shrinkRuns, shards int) int {
+	res := simtest.RunSharded(gen(seed), nil, shards)
 	fmt.Print(res.Fingerprint())
 	if !res.Failed() {
 		return 0
@@ -75,20 +82,26 @@ func runOne(seed uint64, shrink bool, shrinkRuns, shards int) int {
 	return 1
 }
 
-func runSweep(start uint64, count int, shrink bool, shrinkRuns, shards int) int {
+func runSweep(gen func(uint64) simtest.Scenario, start uint64, count int, shrink bool, shrinkRuns, shards int) int {
 	failed := 0
 	const maxArtifacts = 3
 	for i := 0; i < count; i++ {
 		s := start + uint64(i)
-		res := simtest.RunSharded(simtest.Generate(s), nil, shards)
+		res := simtest.RunSharded(gen(s), nil, shards)
 		sc := &res.Scenario
 		status := "ok"
 		if res.Failed() {
 			status = fmt.Sprintf("FAIL (%d: %s)", len(res.Failures), res.Failures[0].Oracle)
 		}
-		fmt.Printf("seed %-6d %-22s mpms=%d mix{u=%t r=%t d=%t n=%t c=%t} ops=%d faults=%d hash=%016x\n",
-			s, status, sc.MPMs, sc.Mix.Unix, sc.Mix.RTK, sc.Mix.DSM, sc.Mix.Netboot, sc.Crash,
-			len(sc.Ops), len(sc.Faults), res.Hash)
+		if o := res.Orch; o != nil {
+			fmt.Printf("seed %-6d %-22s mpms=%d pods=%d chaotic=%t mig=%d migfail=%d rst=%d makespan=%d blackout_max=%d hash=%016x\n",
+				s, status, sc.MPMs, sc.Orch.Pods, sc.Orch.Chaotic, o.Migrated, o.MigFailed,
+				o.Restarts, o.Makespan, o.BlackoutMax, res.Hash)
+		} else {
+			fmt.Printf("seed %-6d %-22s mpms=%d mix{u=%t r=%t d=%t n=%t c=%t} ops=%d faults=%d hash=%016x\n",
+				s, status, sc.MPMs, sc.Mix.Unix, sc.Mix.RTK, sc.Mix.DSM, sc.Mix.Netboot, sc.Crash,
+				len(sc.Ops), len(sc.Faults), res.Hash)
+		}
 		if res.Failed() {
 			failed++
 			if failed <= maxArtifacts {

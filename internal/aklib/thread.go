@@ -59,6 +59,35 @@ func (t *Thread) Revive() bool {
 	return true
 }
 
+// Retire kills the thread's execution context in place. Live migration
+// calls it on the source MPM after the descriptor writeback: an
+// execution context is bound to the engine shard that created it, so it
+// cannot follow the backing record to another MPM — the adopting side
+// regenerates a fresh context from the body with Rehome. A retired
+// context that is parked never runs again (the crash path leaves killed
+// parked contexts the same way).
+func (t *Thread) Retire() {
+	if t.Exec != nil && !t.Exec.Finished() {
+		t.Exec.Kill()
+	}
+}
+
+// Rehome replaces the thread's (retired or finished) execution context
+// with a fresh one created on the kernel's current MPM, rerunning the
+// body from the start on next load. It is Revive for migration: the
+// caching model keeps every thread regenerable from its backing record,
+// so moving the record between MPMs only costs rebuilding the context.
+func (t *Thread) Rehome() bool {
+	if t.body == nil {
+		return false
+	}
+	t.Exec = t.AK.MPM.NewExec(t.AK.Name+"/"+t.Name, t.body)
+	t.state = ck.ThreadState{Priority: t.state.Priority, Exec: t.Exec}
+	t.Loaded = false
+	t.TID = 0
+	return true
+}
+
 // TrackThread registers another kernel's thread record for writeback
 // routing. The SRM owns the main threads it loads for launched kernels,
 // so the Cache Kernel writes them back to the SRM; tracking lets the

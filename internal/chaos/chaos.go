@@ -49,6 +49,13 @@ const (
 	// WalkError makes a hardware page-table walk fail transiently; the
 	// walk is charged and retried from the root.
 	WalkError
+	// KillRunning kills whatever execution context is running on CPU
+	// Fault.CPU of MPM Fault.MPM at Fault.At (a transient processor
+	// fault): the context unwinds at its next charge point and its
+	// thread descriptor is reclaimed without writeback — the involuntary
+	// single-thread death that restart policies distinguish from a
+	// normal exit. Idle CPUs make it a no-op.
+	KillRunning
 )
 
 // String names the kind for traces and reports.
@@ -70,6 +77,8 @@ func (k Kind) String() string {
 		return "delay-frame"
 	case WalkError:
 		return "walk-error"
+	case KillRunning:
+		return "kill-running"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -83,9 +92,11 @@ type Fault struct {
 	At uint64
 	// Until closes the window (0 = never).
 	Until uint64
-	// MPM indexes the kernels slice passed to Arm; only CrashKernel
-	// uses it.
+	// MPM indexes the kernels slice passed to Arm; CrashKernel and
+	// KillRunning use it.
 	MPM int
+	// CPU indexes the victim MPM's processors; only KillRunning uses it.
+	CPU int `json:",omitempty"`
 	// Prob is the per-event injection probability while the window is
 	// open; 0 means 1 (every event).
 	Prob float64
@@ -109,6 +120,7 @@ type Stats struct {
 	FramesDuplicated    uint64
 	FramesDelayed       uint64
 	WalkErrors          uint64
+	ExecsKilled         uint64
 }
 
 // Injector evaluates a plan against the hooks it is armed on. Each
@@ -177,17 +189,36 @@ func (in *Injector) Arm(m *hw.Machine, kernels ...*ck.Kernel) {
 	sanCheckArm(m)
 	for i := range in.Plan.Faults {
 		f := &in.Plan.Faults[i]
-		if f.Kind != CrashKernel {
-			continue
+		switch f.Kind {
+		case CrashKernel:
+			if f.MPM < 0 || f.MPM >= len(kernels) {
+				continue
+			}
+			victim := kernels[f.MPM]
+			victim.MPM.Shard.ScheduleAt(f.At, func() {
+				atomic.AddUint64(&in.Stats.Crashes, 1)
+				victim.Crash()
+			})
+		case KillRunning:
+			if f.MPM < 0 || f.MPM >= len(m.MPMs) {
+				continue
+			}
+			mpm := m.MPMs[f.MPM]
+			if f.CPU < 0 || f.CPU >= len(mpm.CPUs) {
+				continue
+			}
+			cpu := mpm.CPUs[f.CPU]
+			mpm.Shard.ScheduleAt(f.At, func() {
+				if cur := cpu.Cur; cur != nil {
+					atomic.AddUint64(&in.Stats.ExecsKilled, 1)
+					// The event runs on mpm's own shard and cpu is mpm's
+					// processor, so whatever is dispatched on it is
+					// co-sharded by construction.
+					//ckvet:allow shardsafe cpu.Cur runs on cpu's own MPM, the shard this event runs on
+					cur.Kill()
+				}
+			})
 		}
-		if f.MPM < 0 || f.MPM >= len(kernels) {
-			continue
-		}
-		victim := kernels[f.MPM]
-		victim.MPM.Shard.ScheduleAt(f.At, func() {
-			atomic.AddUint64(&in.Stats.Crashes, 1)
-			victim.Crash()
-		})
 	}
 	if in.has(WalkError) {
 		for _, mpm := range m.MPMs {

@@ -16,6 +16,15 @@ type objCache[T any] struct {
 	// Intrusive LRU of loaded slots: head is least recently used.
 	lruHead, lruTail int32
 	loaded           int
+
+	// Cache-observability counters (derived purely from simulation
+	// events, so they are as deterministic as the virtual clock). A hit
+	// is a generation-valid identifier lookup; a miss is a lookup whose
+	// identifier no longer names a loaded object — the caching model's
+	// "identifier failure" event; a reload is an allocation into a slot
+	// that has held an object before (the reload half of the
+	// writeback/reload protocol, at slot granularity).
+	hits, misses, reloads uint64
 }
 
 type cacheSlot[T any] struct {
@@ -50,6 +59,9 @@ func (c *objCache[T]) alloc() (idx int32, gen uint32, ok bool) {
 	c.free = c.free[:len(c.free)-1]
 	s := &c.slots[idx]
 	s.gen++
+	if s.gen > 1 {
+		c.reloads++
+	}
 	s.inUse = true
 	s.locked = false
 	s.prev, s.next = -1, -1
@@ -62,13 +74,24 @@ func (c *objCache[T]) alloc() (idx int32, gen uint32, ok bool) {
 func (c *objCache[T]) get(idx int32, gen uint32) (T, bool) {
 	var zero T
 	if idx < 0 || int(idx) >= len(c.slots) {
+		c.misses++
 		return zero, false
 	}
 	s := &c.slots[idx]
 	if !s.inUse || s.gen != gen {
+		c.misses++
 		return zero, false
 	}
+	c.hits++
 	return s.obj, true
+}
+
+// valid reports whether slot idx currently holds generation gen. It
+// does not touch the hit/miss accounting: the counters model identifier
+// lookups by kernel operations, and this is internal revalidation
+// across a yield point.
+func (c *objCache[T]) valid(idx int32, gen uint32) bool {
+	return idx >= 0 && int(idx) < len(c.slots) && c.slots[idx].inUse && c.slots[idx].gen == gen
 }
 
 // set stores the object value in an allocated slot.

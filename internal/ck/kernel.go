@@ -237,6 +237,14 @@ func (k *Kernel) Loaded(id ObjID) bool {
 	return false
 }
 
+// InFlight reports the number of Cache Kernel operations currently in
+// flight on this instance's processors (calls parked mid-mutation at a
+// charge point). Migration quiesces on it: a swap that starts while
+// InFlight is zero observes every descriptor at rest. Blocked calls
+// release the count while parked, so the gate cannot deadlock against
+// threads waiting on signals.
+func (k *Kernel) InFlight() int { return k.inCalls }
+
 // CurrentThread reports the calling execution's loaded thread
 // identifier, or zero for non-thread executions.
 func (k *Kernel) CurrentThread(e *hw.Exec) ObjID {

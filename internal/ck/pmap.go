@@ -68,12 +68,19 @@ type pmap struct {
 	buckets []int32
 	live    int
 	hand    int32 // clock hand for replacement scans
+
+	// used marks slots that have ever held a record; reloads counts
+	// insertions into such slots — the mapping cache's analog of the
+	// objCache reload counter (observability only, not accounted RAM).
+	used    []bool
+	reloads uint64
 }
 
 func newPMap(capacity, buckets int) *pmap {
 	p := &pmap{
 		recs:    make([]depRecord, capacity),
 		buckets: make([]int32, buckets),
+		used:    make([]bool, capacity),
 	}
 	for i := range p.buckets {
 		p.buckets[i] = -1
@@ -118,6 +125,11 @@ func (p *pmap) releaseSlot(idx int32) { p.free = append(p.free, idx) }
 
 // insertAt fills a reserved slot with a live record.
 func (p *pmap) insertAt(idx int32, kind depKind, key, dep uint32, owner int32) {
+	if p.used[idx] {
+		p.reloads++
+	} else {
+		p.used[idx] = true
+	}
 	b := p.bucket(key)
 	p.recs[idx] = depRecord{key: key, dep: dep, ctx: makeCtx(kind, owner), next: p.buckets[b]}
 	p.buckets[b] = idx

@@ -47,8 +47,37 @@ func (s *scheduler) enqueue(t *ThreadObj) {
 	t.queued = true
 }
 
+// promoteCleared re-queues quota-demoted threads whose kernel's
+// accounting window has since rolled over clean. Demotion lasts only for
+// the remainder of the window (paper §4.3), but effective priority is
+// evaluated at enqueue time: without this pass, a thread parked at the
+// bottom level of a saturated module would keep its demoted position
+// indefinitely, because nothing else rolls a kernel's window once all of
+// its threads are off-CPU. (The overQuota check below performs that lazy
+// roll.)
+func (s *scheduler) promoteCleared() {
+	q := s.ready[0]
+	if len(q) == 0 {
+		return
+	}
+	kept := q[:0]
+	var moved []*ThreadObj
+	for _, t := range q {
+		if t.prio > 0 && t.owner != nil && !s.k.overQuota(t.owner) {
+			moved = append(moved, t)
+			continue
+		}
+		kept = append(kept, t)
+	}
+	s.ready[0] = kept
+	for _, t := range moved {
+		s.ready[t.prio] = append(s.ready[t.prio], t)
+	}
+}
+
 // dequeueBest pops the highest-priority ready thread, or nil.
 func (s *scheduler) dequeueBest() *ThreadObj {
+	s.promoteCleared()
 	for p := len(s.ready) - 1; p >= 0; p-- {
 		q := s.ready[p]
 		if len(q) == 0 {
@@ -65,6 +94,7 @@ func (s *scheduler) dequeueBest() *ThreadObj {
 
 // bestReadyPrio reports the highest non-empty ready priority, or -1.
 func (s *scheduler) bestReadyPrio() int {
+	s.promoteCleared()
 	for p := len(s.ready) - 1; p >= 0; p-- {
 		if len(s.ready[p]) > 0 {
 			return p

@@ -45,6 +45,10 @@ type Table2 struct {
 	SchedSteps         uint64
 	TLBHits, TLBMisses uint64
 	L2Hits, L2Misses   uint64
+
+	// Per-descriptor-cache counters for the same run (Counters stanza,
+	// not part of the paper table).
+	Caches CacheCounters
 }
 
 // PaperTable2 is the published Table 2 / Section 5.3 data for
@@ -122,6 +126,7 @@ func MeasureTable2(cfg Config) (Table2, error) {
 		out.TLBMisses += mi
 	}
 	out.L2Hits, out.L2Misses = m.MPMs[0].L2.Stats()
+	out.Caches = k.CacheCounters()
 	return out, measureErr
 }
 
@@ -383,7 +388,11 @@ func (t Table2) String() string {
 // stanza separate from the paper table, so the table itself stays
 // comparable across revisions byte for byte.
 func (t Table2) Counters() string {
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"simulation counters: sched steps %d, TLB %d hits / %d misses, L2 %d hits / %d misses",
 		t.SchedSteps, t.TLBHits, t.TLBMisses, t.L2Hits, t.L2Misses)
+	for _, c := range []CacheStat{t.Caches.Kernels, t.Caches.Spaces, t.Caches.Threads, t.Caches.Mappings} {
+		s += "\ncache " + c.String()
+	}
+	return s
 }

@@ -104,7 +104,12 @@ func (k *Kernel) UnloadThread(e *hw.Exec, id ObjID) (ThreadState, error) {
 	e.ChargeNoIntr(costThreadUnload)
 	st := ThreadState{Regs: to.exec.Regs, Priority: to.prio, Exec: to.exec}
 	self := to.exec == e
-	k.reclaimThread(e, to, false, false)
+	if !k.reclaimThread(e, to, false, false) {
+		// The thread exited while being forced off its processor; its
+		// descriptor was reclaimed without writeback, so the identifier
+		// has failed — same as unloading after the exit.
+		return ThreadState{}, ErrInvalidID
+	}
 	if self {
 		// The calling thread no longer exists in the Cache Kernel:
 		// release the processor and wait to be reloaded.
@@ -139,8 +144,17 @@ func (k *Kernel) evictThread(e *hw.Exec) error {
 // reclaimThread unloads a thread descriptor: forces it off its processor
 // if running, removes it from scheduler queues, unloads the signal
 // mappings that depend on it (Figure 6), and optionally writes its state
-// back to the owning kernel.
-func (k *Kernel) reclaimThread(e *hw.Exec, to *ThreadObj, writeback, dying bool) {
+// back to the owning kernel. It reports whether it reclaimed the
+// descriptor: reclamation paths yield (forcing a victim off its
+// processor charges cycles), and during a yield the victim's body can
+// return — its Exited cleanup reclaims the descriptor first, and this
+// call must not release the slot a second time.
+func (k *Kernel) reclaimThread(e *hw.Exec, to *ThreadObj, writeback, dying bool) bool {
+	if !k.threads.valid(to.slot, to.id.gen()) {
+		// Gone already: the thread exited (or went through a dependency
+		// reclaim) during a yield between the caller's lookup and now.
+		return false
+	}
 	switch to.state {
 	case threadRunning:
 		if to.exec == e || dying {
@@ -150,6 +164,9 @@ func (k *Kernel) reclaimThread(e *hw.Exec, to *ThreadObj, writeback, dying bool)
 			to.state = threadSuspended
 		} else if e != nil {
 			k.sched.forceOffCPU(e, to)
+			if !k.threads.valid(to.slot, to.id.gen()) {
+				return false
+			}
 		}
 	case threadReady:
 		k.sched.removeReady(to)
@@ -167,6 +184,12 @@ func (k *Kernel) reclaimThread(e *hw.Exec, to *ThreadObj, writeback, dying bool)
 		}
 		pvIdx := int32(k.pm.rec(sigIdx).key)
 		k.unloadMappingRecord(e, pvIdx, true, false)
+	}
+	// The mapping flushes charge consistency work — more yield points; a
+	// concurrent reclaim (eviction racing an unload) may have released
+	// the slot while this one waited.
+	if !k.threads.valid(to.slot, to.id.gen()) {
+		return false
 	}
 	if k.threads.lockedSlot(to.slot) {
 		k.releaseLock(to.owner, lockQuotaThread)
@@ -187,6 +210,7 @@ func (k *Kernel) reclaimThread(e *hw.Exec, to *ThreadObj, writeback, dying bool)
 			owner.attrs.Wb.ThreadWriteback(id, st)
 		}
 	}
+	return true
 }
 
 // SetThreadPriority is the specialized modify operation allowing a

@@ -336,6 +336,16 @@ func (e *Engine) UnparkOn(co *Coro, clock *Clock) {
 // ScheduleAt registers fn to run at virtual time t in engine context.
 // Events at equal times run in registration order.
 func (e *Engine) ScheduleAt(t uint64, fn func()) {
+	e.scheduleEvent(t, fn)
+	// The new event may precede the running coroutine's current horizon.
+	if cur := e.current; cur != nil && t < cur.ctx.horizon {
+		cur.ctx.horizon = t
+	}
+}
+
+// scheduleEvent registers an event without touching the running
+// coroutine's horizon.
+func (e *Engine) scheduleEvent(t uint64, fn func()) {
 	ev := e.newEvent()
 	ev.at, ev.fn = t, fn
 	if c := e.cluster; c != nil && c.running {
@@ -350,10 +360,6 @@ func (e *Engine) ScheduleAt(t uint64, fn func()) {
 		ev.band, ev.seq = 0, e.nextSeq()
 	}
 	e.events.push(ev)
-	// The new event may precede the running coroutine's current horizon.
-	if cur := e.current; cur != nil && t < cur.ctx.horizon {
-		cur.ctx.horizon = t
-	}
 }
 
 // ScheduleAfter registers fn to run d cycles after the engine's current
@@ -369,10 +375,17 @@ func (e *Engine) ScheduleAfter(d uint64, fn func()) {
 // injected into dst at the epoch barrier, so t must lie beyond the
 // current epoch — which the cluster's latency bound (Cluster.Bound)
 // guarantees for every modeled interconnect.
+//
+// Unlike ScheduleAt, a cross registration never shrinks the sending
+// coroutine's slice horizon: the outbox path physically cannot (the
+// sender keeps running while the message is in flight), so the direct
+// path must not either, or the sender's yield/interrupt-poll points —
+// and everything downstream of them — would depend on whether the
+// destination happens to share the sender's shard.
 func (e *Engine) ScheduleCrossAt(dst *Engine, t uint64, fn func()) {
 	c := e.cluster
 	if dst == e || c == nil || !c.running {
-		dst.ScheduleAt(t, fn)
+		dst.scheduleEvent(t, fn)
 		return
 	}
 	if c.lookahead == math.MaxUint64 {

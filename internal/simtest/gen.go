@@ -55,6 +55,64 @@ func Generate(seed uint64) Scenario {
 	return sc
 }
 
+// GenerateOrch expands one seed into an orchestration scenario: the
+// ckctl plane over 2-4 MPMs, a 50-74 pod fleet, a rolling upgrade
+// (serial live migration of every instance), and one of four chaos
+// variants. It is a separate family with its own seed space — Generate's
+// draw sequence is untouched, so every existing seed reproduces.
+//
+// Horizons are generous by design: the fleet oversubscribes the CPUs
+// several-fold, so a migrated pod queues behind a dozen time-sliced
+// peers before its first target-side dispatch — blackouts run to
+// megacycles and the serial upgrade to tens of megacycles.
+func GenerateOrch(seed uint64) Scenario {
+	r := sim.NewRand(seed)
+	sc := Scenario{Seed: seed}
+	o := &OrchSpec{}
+	sc.Orch = o
+
+	sc.MPMs = 2 + r.Intn(3)
+	sc.CPUsPerMPM = 2
+	sc.ThreadSlots = 256
+	sc.MappingSlots = 4096
+	o.Pods = 50 + r.Intn(25)
+	o.BeatUS = 100 + r.Intn(150)
+	o.UpgradeAtUS = 8_000 + r.Intn(12_000)
+	// Per-migration cost is dominated by run-queue delay on the saturated
+	// target (the moved pod waits ~runqueue x TimeSlice for its first
+	// dispatch), so the serial upgrade's makespan scales with
+	// Pods^2/MPMs; the horizon budgets that with a wide margin.
+	sc.HorizonUS = o.UpgradeAtUS + o.Pods*15_000 + 2_000*o.Pods*o.Pods/sc.MPMs + 400_000
+	sc.FaultSeed = r.Uint64()
+
+	upgrade := uint64(o.UpgradeAtUS) * hw.CyclesPerMicrosecond
+	switch r.Intn(4) {
+	case 0: // clean
+	case 1: // crash the first module while the upgrade drains it
+		o.Chaotic = true
+		sc.Faults = append(sc.Faults, chaos.Fault{
+			Kind: chaos.CrashKernel,
+			At:   upgrade + uint64(300+r.Intn(3_000))*hw.CyclesPerMicrosecond,
+			MPM:  0,
+		})
+	case 2: // kill whatever is running, a few times, anywhere
+		o.Chaotic = true
+		for i, n := 0, 2+r.Intn(3); i < n; i++ {
+			sc.Faults = append(sc.Faults, chaos.Fault{
+				Kind: chaos.KillRunning,
+				At:   upgrade + uint64(r.Intn(o.Pods*20_000))*hw.CyclesPerMicrosecond,
+				MPM:  r.Intn(sc.MPMs),
+				CPU:  r.Intn(sc.CPUsPerMPM),
+			})
+		}
+	case 3: // low-rate page-table walk errors (transparently retried)
+		sc.Faults = append(sc.Faults, chaos.Fault{
+			Kind: chaos.WalkError, Prob: 0.0005 + 0.002*r.Float64(),
+		})
+	}
+	return sc
+}
+
 // genFaults draws the scenario's chaos plan and reports whether it
 // injects signal faults. Signal-fault plans drop every library mix:
 // unixemu's sleep, rtk's periodic activation and dsm's wakeups all

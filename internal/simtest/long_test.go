@@ -18,3 +18,24 @@ func TestSeedSweep(t *testing.T) {
 		}
 	}
 }
+
+// TestOrchSeedSweep is the orchestration family's long-form sweep, with
+// shard-determinism checked on every fourth seed (each orch run is tens
+// of megacycles; the full pairwise sweep belongs to the nightly CLI).
+func TestOrchSeedSweep(t *testing.T) {
+	for seed := uint64(1); seed <= 40; seed++ {
+		sc := GenerateOrch(seed)
+		r := Run(sc, nil)
+		if r.Failed() {
+			t.Errorf("orch seed %d failed:\n%s", seed, r.Fingerprint())
+			continue
+		}
+		if seed%4 == 0 {
+			sharded := RunSharded(sc, nil, 4)
+			if r.Fingerprint() != sharded.Fingerprint() {
+				t.Errorf("orch seed %d: sharded diverged\n--- serial ---\n%s--- shards=4 ---\n%s",
+					seed, r.Fingerprint(), sharded.Fingerprint())
+			}
+		}
+	}
+}

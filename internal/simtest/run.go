@@ -267,6 +267,9 @@ func shardPlan(sc *Scenario, shards int) []int {
 }
 
 func runWith(sc Scenario, trace func(name string, at uint64), shards int) *Result {
+	if sc.Orch != nil {
+		return runOrch(sc, trace, shards)
+	}
 	res := &Result{Scenario: sc}
 	h := &harness{sc: sc, horizon: hw.CyclesFromMicros(float64(sc.HorizonUS))}
 	for _, f := range sc.Faults {
@@ -286,20 +289,7 @@ func runWith(sc Scenario, trace func(name string, at uint64), shards int) *Resul
 	cfg.Shards = shards
 	cfg.ShardMap = shardPlan(&sc, shards)
 	h.m = hw.NewMachine(cfg)
-	h.lastByName = make(map[string]uint64)
-	h.hash = fnvOffset
-	h.m.SetTraceDispatch(func(name string, at uint64) {
-		h.dispatches++
-		if last, ok := h.lastByName[name]; ok && at < last && !h.monoBad {
-			h.monoBad = true
-			h.failf("monotonicity", "dispatch %q at %d after %d: its virtual clock ran backwards", name, at, last)
-		}
-		h.lastByName[name] = at
-		h.hash = fnvAdd(h.hash, name, at)
-		if trace != nil {
-			trace(name, at)
-		}
-	})
+	h.installTrace(trace)
 
 	var kernels []*ck.Kernel
 	for i := 0; i < sc.MPMs; i++ {
@@ -350,6 +340,26 @@ func runWith(sc Scenario, trace func(name string, at uint64), shards int) *Resul
 	res.Hash = h.hash
 	res.FaultStats = h.inj.Stats
 	return res
+}
+
+// installTrace wires the dispatch-schedule observer: the monotonicity
+// oracle, the FNV-1a schedule hash, and the caller's trace callback.
+// Shared by the op-stream and orchestration families.
+func (h *harness) installTrace(trace func(name string, at uint64)) {
+	h.lastByName = make(map[string]uint64)
+	h.hash = fnvOffset
+	h.m.SetTraceDispatch(func(name string, at uint64) {
+		h.dispatches++
+		if last, ok := h.lastByName[name]; ok && at < last && !h.monoBad {
+			h.monoBad = true
+			h.failf("monotonicity", "dispatch %q at %d after %d: its virtual clock ran backwards", name, at, last)
+		}
+		h.lastByName[name] = at
+		h.hash = fnvAdd(h.hash, name, at)
+		if trace != nil {
+			trace(name, at)
+		}
+	})
 }
 
 // RunSeed generates and runs one seed.

@@ -118,7 +118,29 @@ type Scenario struct {
 	FaultSeed uint64
 	Faults    []chaos.Fault `json:",omitempty"`
 
+	// Orch marks the orchestration family: instead of driver op streams,
+	// the scenario boots the ckctl plane over every MPM and drives a
+	// rolling upgrade of a pod fleet (live cross-MPM migration) under the
+	// fault plan. Ops is empty for this family.
+	Orch *OrchSpec `json:",omitempty"`
+
 	Ops []Op
+}
+
+// OrchSpec parameterizes one orchestration scenario. The fault plan
+// still lives in Scenario.Faults so shard co-location and the injector
+// work unchanged.
+type OrchSpec struct {
+	// Pods is the fleet size (sum over both restart-policy groups).
+	Pods int
+	// BeatUS is the virtual time one pod heartbeat charges.
+	BeatUS int
+	// UpgradeAtUS schedules the rolling upgrade (live migration of every
+	// instance, serially, in name order).
+	UpgradeAtUS int
+	// Chaotic relaxes the upgrade oracles: under kill/crash faults,
+	// individual migrations may legitimately fail over to a relaunch.
+	Chaotic bool `json:",omitempty"`
 }
 
 // Failure is one oracle violation.
@@ -144,6 +166,29 @@ type Result struct {
 	Hash       uint64
 
 	FaultStats chaos.Stats
+
+	// Orch summarizes the orchestration family's run (nil otherwise).
+	Orch *OrchStats `json:",omitempty"`
+}
+
+// OrchStats is the deterministic cluster summary of an orchestration
+// scenario: controller phase census, migration and recovery counts, and
+// the upgrade's virtual-time cost.
+type OrchStats struct {
+	Instances  int
+	Completed  int
+	Running    int
+	Failed     int
+	Restarts   int
+	Migrated   int
+	MigFailed  int
+	Skipped    int
+	Recoveries int
+	Revived    int
+	// Makespan is the rolling upgrade's span in cycles; BlackoutMax the
+	// worst per-pod migration blackout observed.
+	Makespan    uint64
+	BlackoutMax uint64
 }
 
 // Failed reports whether any oracle fired.
@@ -163,10 +208,19 @@ func (r *Result) Fingerprint() string {
 		sc.MPMs, sc.CPUsPerMPM, sc.ThreadSlots, sc.MappingSlots, sc.HorizonUS)
 	fmt.Fprintf(&b, "mix unix=%t rtk=%t dsm=%t netboot=%t crash=%t\n",
 		sc.Mix.Unix, sc.Mix.RTK, sc.Mix.DSM, sc.Mix.Netboot, sc.Crash)
+	if sc.Orch != nil {
+		fmt.Fprintf(&b, "orch pods=%d beat_us=%d upgrade_at_us=%d chaotic=%t\n",
+			sc.Orch.Pods, sc.Orch.BeatUS, sc.Orch.UpgradeAtUS, sc.Orch.Chaotic)
+	}
 	fmt.Fprintf(&b, "ops %d faults %d\n", len(sc.Ops), len(sc.Faults))
 	fmt.Fprintf(&b, "fault_stats crashes=%d sigdrop=%d sigdup=%d wbcorrupt=%d framedrop=%d walkerr=%d\n",
 		r.FaultStats.Crashes, r.FaultStats.SignalsDropped, r.FaultStats.SignalsDuplicated,
 		r.FaultStats.WritebacksCorrupted, r.FaultStats.FramesDropped, r.FaultStats.WalkErrors)
+	if o := r.Orch; o != nil {
+		fmt.Fprintf(&b, "orch_stats inst=%d done=%d run=%d fail=%d rst=%d mig=%d migfail=%d skip=%d recov=%d revive=%d makespan=%d blackout_max=%d\n",
+			o.Instances, o.Completed, o.Running, o.Failed, o.Restarts, o.Migrated,
+			o.MigFailed, o.Skipped, o.Recoveries, o.Revived, o.Makespan, o.BlackoutMax)
+	}
 	fmt.Fprintf(&b, "failures %d\n", len(r.Failures))
 	for _, f := range r.Failures {
 		fmt.Fprintf(&b, "  %s: %s\n", f.Oracle, f.Detail)

@@ -15,4 +15,9 @@ var (
 	ErrNoCapacity = errors.New("srm: out of page groups")
 	// ErrNotSwapped reports an Unswap of a kernel that is still loaded.
 	ErrNotSwapped = errors.New("srm: kernel not swapped")
+	// ErrNotRehomable reports an Adopt of a kernel whose main thread has
+	// no body to regenerate an execution context from on the new MPM.
+	ErrNotRehomable = errors.New("srm: main thread not rehomable")
+	// ErrServiceExists reports an AddService under a name already in use.
+	ErrServiceExists = errors.New("srm: service already installed")
 )

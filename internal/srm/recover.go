@@ -44,9 +44,11 @@ type RecoveryReport struct {
 	FirstResume uint64
 	// Kernels counts launched kernels reloaded; Revived counts main
 	// threads whose execution context died in the crash and was
-	// recreated from its body.
-	Kernels int
-	Revived int
+	// recreated from its body; Services counts SRM service threads
+	// restarted from their bodies.
+	Kernels  int
+	Revived  int
+	Services int
 	// Err records the first reload failure, if any.
 	Err error
 }
@@ -210,6 +212,29 @@ func (s *SRM) Recover(e *hw.Exec) *RecoveryReport {
 					r.Err = err
 				}
 			}
+		}
+		// Restart registered service threads. A pre-crash service context
+		// is unrecoverable even when it was parked off-CPU: its pending
+		// alarm deliveries are generation-checked against a descriptor
+		// that no longer exists, so it would wait forever. Kill it and
+		// regenerate from the body (services are written to set up from
+		// the top).
+		for _, n := range s.serviceNames() {
+			t := s.services[n]
+			t.Retire()
+			if !t.Rehome() {
+				continue
+			}
+			t.SpaceID = s.SpaceID
+			if err := t.Load(be, true); err != nil {
+				if r.Err == nil {
+					r.Err = err
+				}
+				continue
+			}
+			r.Services++
+			s.rtrace("recover-service", be.Now(),
+				fmt.Sprintf("service %q restarted from its body", n))
 		}
 		r.ReloadAt = be.Now()
 		done = true

@@ -27,6 +27,7 @@ type SRM struct {
 	groups *GroupAllocator
 
 	launched map[string]*Launched
+	services map[string]*aklib.Thread
 }
 
 // Launched records one application kernel started by the SRM.
@@ -82,6 +83,7 @@ func Start(k *ck.Kernel, mpm *hw.MPM, main func(s *SRM, e *hw.Exec)) (*SRM, erro
 		AppKernel: aklib.NewAppKernel("srm", k, mpm),
 		groups:    NewGroupAllocatorRange(lo, uint32(mpm.ID)*per+per),
 		launched:  make(map[string]*Launched),
+		services:  make(map[string]*aklib.Thread),
 	}
 	attrs := s.Attrs()
 	attrs.Name = "srm"
@@ -273,6 +275,81 @@ func (s *SRM) Unswap(e *hw.Exec, name string) error {
 
 // Kernel reports a launched kernel by name.
 func (s *SRM) Kernel(name string) *Launched { return s.launched[name] }
+
+// FreeGroups reports how many physical page groups remain grantable —
+// the orchestration plane's capacity signal for placement.
+func (s *SRM) FreeGroups() int { return s.groups.Available() }
+
+// AddService installs a named worker thread in the SRM's own address
+// space and registers it for crash replay: after a Cache Kernel
+// crash-reboot, Recover restarts every service from its body (the old
+// execution context is unrecoverable, like any crashed thread's). The
+// orchestration plane's per-MPM agents run as services, so the control
+// plane survives the crashes it manages. The body must therefore be
+// idempotent from the top — the usual setup-once-then-poll shape.
+//
+// Services load locked. A service parks in WaitSignal between polls,
+// making it the cache's least-recently-used thread exactly when the
+// module is busiest; if pressure then evicted it, its pending alarm
+// would be dropped by the delivery generation check and the service
+// would sleep forever. The SRM's kernel and space are locked from boot,
+// so the thread lock is effective (paper §4.2's dependency rule), and
+// the lock draws on the SRM's own thread lock quota.
+func (s *SRM) AddService(e *hw.Exec, name string, prio int, body func(e *hw.Exec)) (*aklib.Thread, error) {
+	if _, dup := s.services[name]; dup {
+		return nil, fmt.Errorf("%w: %q", ErrServiceExists, name)
+	}
+	t := s.NewThread("svc/"+name, s.SpaceID, prio, body)
+	if err := t.Load(e, true); err != nil {
+		return nil, err
+	}
+	s.services[name] = t
+	return t, nil
+}
+
+// Service reports an installed service thread by name.
+func (s *SRM) Service(name string) *aklib.Thread { return s.services[name] }
+
+// ServiceDead reports whether a service's execution context died
+// without being restarted — a kill fault landed on it while it ran. A
+// whole-kernel crash is the guardian's business (Recover replays every
+// service); this predicate is for the narrower case where only the
+// service thread was lost and the rest of the module kept going.
+func (s *SRM) ServiceDead(name string) bool {
+	t := s.services[name]
+	return t != nil && t.Exec != nil && t.Exec.Finished()
+}
+
+// ReviveService regenerates a dead service thread from its body — the
+// single-thread analogue of Recover's service replay. The caching model
+// makes this cheap: the body is the master copy, the descriptor and the
+// execution context are both regenerable, so losing them to a kill
+// fault costs a reload, not state. The caller must be a thread of the
+// first kernel (services live in the SRM's space).
+func (s *SRM) ReviveService(e *hw.Exec, name string) error {
+	t := s.services[name]
+	if t == nil {
+		return fmt.Errorf("%w: service %q", ErrUnknownKernel, name)
+	}
+	t.Retire()
+	t.MarkUnloaded()
+	if !t.Rehome() {
+		return fmt.Errorf("srm: service %q has no body to revive from", name)
+	}
+	t.SpaceID = s.SpaceID
+	return t.Load(e, true)
+}
+
+// serviceNames returns the installed service names in deterministic
+// order.
+func (s *SRM) serviceNames() []string {
+	names := make([]string, 0, len(s.services))
+	for n := range s.services {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
 
 // GroupAllocator divides physical memory into page groups for granting
 // to application kernels.
