@@ -14,6 +14,9 @@
 //	      (opt-in: not part of "all", like -hostperf)
 //	orch  live cross-MPM kernel migration blackout under a rolling
 //	      upgrade (opt-in; with -json writes BENCH_orchestration.json)
+//	fork  whole-machine snapshot/fork cost: boot-vs-fork host time, COW
+//	      fault cost, snapshot size (opt-in; with -json writes
+//	      BENCH_fork.json)
 //
 // -hostperf instead measures host-side simulator throughput (virtual
 // results are unaffected by it); with -json the report is also written
@@ -140,6 +143,24 @@ func main() {
 				if check(err) {
 					if check(os.WriteFile("BENCH_orchestration.json", append(b, '\n'), 0o644)) {
 						fmt.Println("wrote BENCH_orchestration.json")
+					}
+				}
+			}
+		}
+	}
+	if want["fork"] {
+		fmt.Printf("=== FORK: whole-machine snapshot/fork cost (DESIGN §13) ===\n")
+		res, err := exp.MeasureFork()
+		if check(err) {
+			fmt.Println(res)
+			if res.ForkToBootRatio > 0.10 {
+				check(fmt.Errorf("fork costs %.1f%% of a boot; boot-once/fork-many needs <= 10%%", 100*res.ForkToBootRatio))
+			}
+			if *jsonOut {
+				b, err := json.MarshalIndent(res, "", "  ")
+				if check(err) {
+					if check(os.WriteFile("BENCH_fork.json", append(b, '\n'), 0o644)) {
+						fmt.Println("wrote BENCH_fork.json")
 					}
 				}
 			}

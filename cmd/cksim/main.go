@@ -12,6 +12,10 @@
 //	cksim -seeds 40 -shards 4 -san     sanitized sweep (requires -tags cksan)
 //	cksim -orch -seed 7                run one orchestration-family seed
 //	cksim -orch -seeds 40 -shards 4    sweep the orchestration family
+//	cksim -fork 30                     fork-family sweep: boot once per class,
+//	                                   explore each seed's continuations by forking
+//	cksim -forkcheck -seeds 40         replay-fork every op-stream seed and require
+//	                                   verdicts identical to the plain run
 //
 // On failure the full scenario is written to cksim-fail-<seed>.json
 // (and cksim-min-<seed>.json when shrinking); either file feeds -replay.
@@ -39,6 +43,8 @@ func main() {
 		shards  = flag.Int("shards", 1, "engine shards (results are byte-identical to -shards 1)")
 		san     = flag.Bool("san", false, "require the cksan runtime ownership sanitizer (build with -tags cksan)")
 		orch    = flag.Bool("orch", false, "run the orchestration family (ckctl rolling upgrades) instead of op streams")
+		fork    = flag.Int("fork", 0, "sweep this many fork-family seeds from -start (one boot per class, one fork per continuation)")
+		fkCheck = flag.Bool("forkcheck", false, "run each op-stream seed through the replay fork tier and require identical verdicts")
 	)
 	flag.Parse()
 
@@ -57,6 +63,12 @@ func main() {
 	switch {
 	case *replay != "":
 		os.Exit(runReplay(*replay, *shards))
+	case *fork > 0:
+		os.Exit(runForkSweep(*start, *fork, *shards))
+	case *fkCheck && *seeds > 0:
+		os.Exit(runForkCheck(*start, *seeds, *shards))
+	case *fkCheck:
+		os.Exit(runForkCheck(*seed, 1, *shards))
 	case *seeds > 0:
 		os.Exit(runSweep(gen, *start, *seeds, *shrink, *shrinkN, *shards))
 	case *seed != 0 || flag.Lookup("seed").Value.String() != "0":
@@ -114,6 +126,57 @@ func runSweep(gen func(uint64) simtest.Scenario, start uint64, count int, shrink
 		}
 	}
 	fmt.Printf("swept %d seed(s): %d failed\n", count, failed)
+	if failed > 0 {
+		return 1
+	}
+	return 0
+}
+
+// runForkSweep drives the fork scenario family: classes boot once and
+// every seed of a class explores its continuations off the shared
+// snapshot, with the fork-vs-fresh, COW-isolation and
+// snapshot-determinism oracles armed.
+func runForkSweep(start uint64, count, shards int) int {
+	failed := 0
+	for i := 0; i < count; i++ {
+		s := start + uint64(i)
+		res := simtest.RunForkScenario(simtest.GenerateFork(s), shards)
+		sc := res.Scenario
+		status := "ok"
+		if res.Failed() {
+			status = fmt.Sprintf("FAIL (%d: %s)", len(res.Failures), res.Failures[0].Oracle)
+			failed++
+		}
+		fmt.Printf("seed %-6d %-22s mpms=%d pages=%d conts=%d forks=%d snap=%dB cow=%d hash=%016x\n",
+			s, status, sc.MPMs, sc.Pages, sc.Conts, res.Forks, res.SnapshotBytes, res.CowCopied, res.Hash)
+		if res.Failed() {
+			for _, f := range res.Failures {
+				fmt.Printf("  %s: %s\n", f.Oracle, f.Detail)
+			}
+		}
+	}
+	fmt.Printf("forked %d seed(s): %d failed\n", count, failed)
+	if failed > 0 {
+		return 1
+	}
+	return 0
+}
+
+// runForkCheck replays every op-stream seed through the replay fork
+// tier (pause at a mid-run cut, verify the state digest reproduces,
+// finish) and requires verdicts identical to the unpaused run.
+func runForkCheck(start uint64, count, shards int) int {
+	failed := 0
+	for i := 0; i < count; i++ {
+		s := start + uint64(i)
+		if err := simtest.ForkCheck(s, shards); err != nil {
+			fmt.Printf("seed %-6d FAIL %v\n", s, err)
+			failed++
+			continue
+		}
+		fmt.Printf("seed %-6d fork-equivalent\n", s)
+	}
+	fmt.Printf("fork-checked %d seed(s): %d failed\n", count, failed)
 	if failed > 0 {
 		return 1
 	}

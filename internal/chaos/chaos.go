@@ -157,6 +157,33 @@ func (in *Injector) rngFor(eng *sim.Engine) *sim.Rand {
 	return r
 }
 
+// Cursors captures the injector's fault-stream positions, keyed by
+// shard index: each entry is the internal state of that shard's seeded
+// generator, i.e. how far into its deterministic coin-flip sequence the
+// run has advanced. A parked plan (armed but keyed to a window that has
+// not opened) captures identically to a never-consulted one — the
+// generator state is the complete cursor either way.
+func (in *Injector) Cursors() map[int]uint64 {
+	out := make(map[int]uint64, len(in.rngs))
+	//ckvet:allow detmap builds a map keyed by unique shard index; insertion order cannot affect the result
+	for eng, r := range in.rngs {
+		out[eng.Shard()] = r.State()
+	}
+	return out
+}
+
+// RestoreCursors rewinds the fault streams of an injector armed on m to
+// captured positions, so a forked run draws the same remaining coin
+// flips the parent would have. Shards present in the capture but
+// without an armed stream on this injector are created on demand.
+func (in *Injector) RestoreCursors(m *hw.Machine, cursors map[int]uint64) {
+	for _, mpm := range m.MPMs {
+		if s, ok := cursors[mpm.Shard.Shard()]; ok {
+			in.rngFor(mpm.Shard).RestoreState(s)
+		}
+	}
+}
+
 // hit reports whether fault f fires for an event at virtual time now,
 // drawing the probability coin from rng if the window is open.
 func (in *Injector) hit(f *Fault, now uint64, rng *sim.Rand) bool {

@@ -198,6 +198,81 @@ func (c *objCache[T]) Loaded() int { return c.loaded }
 // Capacity reports the total slot count.
 func (c *objCache[T]) Capacity() int { return len(c.slots) }
 
+// CacheShape is the structural skeleton of a descriptor cache: every
+// slot's generation and lock bit, the loaded set in exact LRU order,
+// the free list in exact stack order, and the observability counters.
+// Together with the per-slot objects it is a complete capture — a cache
+// restored from a shape allocates future slots in the identical order
+// and mints identical (generation-bearing) identifiers.
+type CacheShape struct {
+	Gens                  []uint32
+	Locked                []bool
+	LRU                   []int32 // loaded slots, least recently used first
+	Free                  []int32
+	Hits, Misses, Reloads uint64
+}
+
+// shape captures the cache's structural skeleton.
+func (c *objCache[T]) shape() CacheShape {
+	sh := CacheShape{
+		Gens:    make([]uint32, len(c.slots)),
+		Locked:  make([]bool, len(c.slots)),
+		Free:    append([]int32(nil), c.free...),
+		Hits:    c.hits,
+		Misses:  c.misses,
+		Reloads: c.reloads,
+	}
+	for i := range c.slots {
+		sh.Gens[i] = c.slots[i].gen
+		sh.Locked[i] = c.slots[i].locked
+	}
+	for idx := c.lruHead; idx != -1; idx = c.slots[idx].next {
+		sh.LRU = append(sh.LRU, idx)
+	}
+	return sh
+}
+
+// restoreShape overwrites the cache's skeleton with a captured shape;
+// obj supplies the object for each loaded slot (called in LRU order).
+// The cache must have the captured capacity and be freshly built or
+// wiped (no loaded slots).
+func (c *objCache[T]) restoreShape(sh CacheShape, obj func(slot int32) (T, error)) error {
+	if len(sh.Gens) != len(c.slots) {
+		return errShape(c.name, "capacity", len(sh.Gens), len(c.slots))
+	}
+	if c.loaded != 0 {
+		return errShape(c.name, "loaded slots at restore", c.loaded, 0)
+	}
+	if len(sh.Free)+len(sh.LRU) != len(c.slots) {
+		return errShape(c.name, "free+loaded", len(sh.Free)+len(sh.LRU), len(c.slots))
+	}
+	for i := range c.slots {
+		c.slots[i] = cacheSlot[T]{gen: sh.Gens[i], prev: -1, next: -1}
+	}
+	c.free = append(c.free[:0], sh.Free...)
+	c.lruHead, c.lruTail = -1, -1
+	c.loaded = 0
+	for _, idx := range sh.LRU {
+		if idx < 0 || int(idx) >= len(c.slots) || c.slots[idx].inUse {
+			return errShape(c.name, "LRU slot", int(idx), len(c.slots))
+		}
+		o, err := obj(idx)
+		if err != nil {
+			return err
+		}
+		s := &c.slots[idx]
+		s.obj = o
+		s.inUse = true
+		s.locked = sh.Locked[idx]
+		c.lruAppend(idx)
+		c.loaded++
+	}
+	c.hits = sh.Hits
+	c.misses = sh.Misses
+	c.reloads = sh.Reloads
+	return nil
+}
+
 func (c *objCache[T]) lruAppend(idx int32) {
 	s := &c.slots[idx]
 	s.prev = c.lruTail

@@ -81,6 +81,7 @@ func newPMap(capacity, buckets int) *pmap {
 		recs:    make([]depRecord, capacity),
 		buckets: make([]int32, buckets),
 		used:    make([]bool, capacity),
+		free:    make([]int32, 0, capacity),
 	}
 	for i := range p.buckets {
 		p.buckets[i] = -1

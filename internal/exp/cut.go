@@ -1,0 +1,23 @@
+package exp
+
+import (
+	"math"
+
+	"vpp/internal/hw"
+)
+
+// runCut drives a built machine to its horizon, pausing once at
+// virtual time cut when a pause hook is supplied. The pause point is
+// the replay fork tier's snapshot instant (internal/snap): the hook
+// typically captures or verifies the machine's state digest and swaps
+// trace sinks. Engine runs are re-enterable, so a paused run completes
+// byte-identically to an unpaused one.
+func runCut(m *hw.Machine, cut uint64, pause func(*hw.Machine)) error {
+	if pause != nil {
+		if err := m.Run(cut); err != nil {
+			return err
+		}
+		pause(m)
+	}
+	return m.Run(math.MaxUint64)
+}

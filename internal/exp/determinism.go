@@ -2,7 +2,6 @@ package exp
 
 import (
 	"fmt"
-	"math"
 
 	"vpp/internal/ck"
 	"vpp/internal/hw"
@@ -18,6 +17,13 @@ import (
 // optimization, and asserts the sharded engine (shards > 1 spreads the
 // two MPMs over per-shard goroutines) reproduces it byte-identically.
 func RunDeterminismWorkload(trace func(name string, at uint64), shards int) (finalClock, steps uint64, err error) {
+	return RunDeterminismWorkloadCut(trace, shards, 0, nil)
+}
+
+// RunDeterminismWorkloadCut is the replay-fork form of the determinism
+// workload (snap.CutFunc): it pauses at virtual time cut for the pause
+// hook before running to completion.
+func RunDeterminismWorkloadCut(trace func(name string, at uint64), shards int, cut uint64, pause func(m *hw.Machine)) (finalClock, steps uint64, err error) {
 	cfg := hw.DefaultConfig()
 	cfg.MPMs = 2
 	cfg.Shards = shards
@@ -31,7 +37,7 @@ func RunDeterminismWorkload(trace func(name string, at uint64), shards int) (fin
 		}
 	}
 	m.SetMaxSteps(50_000_000)
-	if err := m.Run(math.MaxUint64); err != nil {
+	if err := runCut(m, cut, pause); err != nil {
 		return 0, 0, err
 	}
 	for _, e := range errs {

@@ -2,7 +2,6 @@ package exp
 
 import (
 	"fmt"
-	"math"
 
 	"vpp/internal/ck"
 	"vpp/internal/hw"
@@ -20,6 +19,13 @@ import (
 // has one MPM, so shards above one clamp to the serial engine; the
 // parameter keeps the workload signature uniform across the goldens.
 func RunBootEchoWorkload(trace func(name string, at uint64), shards int) (finalClock, steps uint64, err error) {
+	return RunBootEchoWorkloadCut(trace, shards, 0, nil)
+}
+
+// RunBootEchoWorkloadCut is the replay-fork form of the boot/echo
+// workload (snap.CutFunc): it pauses at virtual time cut for the pause
+// hook before running to completion.
+func RunBootEchoWorkloadCut(trace func(name string, at uint64), shards int, cut uint64, pause func(m *hw.Machine)) (finalClock, steps uint64, err error) {
 	cfg := hw.DefaultConfig()
 	cfg.Shards = shards
 	m := hw.NewMachine(cfg)
@@ -39,7 +45,7 @@ func RunBootEchoWorkload(trace func(name string, at uint64), shards int) (finalC
 		return 0, 0, err
 	}
 	m.SetMaxSteps(50_000_000)
-	if err := m.Run(math.MaxUint64); err != nil {
+	if err := runCut(m, cut, pause); err != nil {
 		return 0, 0, err
 	}
 	if bodyErr != nil {

@@ -2,7 +2,6 @@ package exp
 
 import (
 	"fmt"
-	"math"
 
 	"vpp/internal/ck"
 	"vpp/internal/ckctl"
@@ -64,6 +63,13 @@ func (r OrchestrationResult) String() string {
 // here is fatal. Fully deterministic; the orchestration golden hashes
 // its dispatch schedule.
 func RunOrchestrationWorkload(trace func(name string, at uint64), shards int) (OrchestrationResult, error) {
+	return RunOrchestrationWorkloadCut(trace, shards, 0, nil)
+}
+
+// RunOrchestrationWorkloadCut is the replay-fork form of the
+// orchestration workload: it pauses at virtual time cut for the pause
+// hook before running to completion.
+func RunOrchestrationWorkloadCut(trace func(name string, at uint64), shards int, cut uint64, pause func(m *hw.Machine)) (OrchestrationResult, error) {
 	const (
 		mpms      = 3
 		pods      = 24
@@ -105,7 +111,7 @@ func RunOrchestrationWorkload(trace func(name string, at uint64), shards int) (O
 	c.ScheduleRollingUpgrade(hw.CyclesFromMicros(upgradeUS))
 
 	m.SetMaxSteps(2_000_000_000)
-	if err := m.Run(math.MaxUint64); err != nil {
+	if err := runCut(m, cut, pause); err != nil {
 		return res, err
 	}
 	if bad := c.Verify(); len(bad) > 0 {
@@ -155,5 +161,12 @@ func RunOrchestrationWorkload(trace func(name string, at uint64), shards int) (O
 // schedule-golden harness.
 func RunOrchestrationTrace(trace func(name string, at uint64), shards int) (uint64, uint64, error) {
 	res, err := RunOrchestrationWorkload(trace, shards)
+	return res.FinalClock, res.Steps, err
+}
+
+// RunOrchestrationTraceCut adapts RunOrchestrationWorkloadCut to
+// snap.CutFunc.
+func RunOrchestrationTraceCut(trace func(name string, at uint64), shards int, cut uint64, pause func(m *hw.Machine)) (uint64, uint64, error) {
+	res, err := RunOrchestrationWorkloadCut(trace, shards, cut, pause)
 	return res.FinalClock, res.Steps, err
 }

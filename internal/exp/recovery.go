@@ -2,7 +2,6 @@ package exp
 
 import (
 	"fmt"
-	"math"
 
 	"vpp/internal/aklib"
 	"vpp/internal/chaos"
@@ -72,6 +71,13 @@ func (r RecoveryResult) String() string {
 // latency breakdown. Fully deterministic; the recovery golden hashes
 // its dispatch schedule.
 func RunRecoveryWorkload(trace func(name string, at uint64), shards int) (RecoveryResult, error) {
+	return RunRecoveryWorkloadCut(trace, shards, 0, nil)
+}
+
+// RunRecoveryWorkloadCut is the replay-fork form of the recovery
+// workload: it pauses at virtual time cut for the pause hook before
+// running to completion.
+func RunRecoveryWorkloadCut(trace func(name string, at uint64), shards int, cut uint64, pause func(m *hw.Machine)) (RecoveryResult, error) {
 	var res RecoveryResult
 	res.CrashAt = hw.CyclesFromMicros(18_000)
 	horizon := hw.CyclesFromMicros(120_000)
@@ -166,7 +172,7 @@ func RunRecoveryWorkload(trace func(name string, at uint64), shards int) (Recove
 		return res, err
 	}
 	m.SetMaxSteps(2_000_000_000)
-	if err := m.Run(math.MaxUint64); err != nil {
+	if err := runCut(m, cut, pause); err != nil {
 		return res, err
 	}
 	if bodyErr != nil {
@@ -200,5 +206,11 @@ func RunRecoveryWorkload(trace func(name string, at uint64), shards int) (Recove
 // harness.
 func RunRecoveryTrace(trace func(name string, at uint64), shards int) (uint64, uint64, error) {
 	res, err := RunRecoveryWorkload(trace, shards)
+	return res.FinalClock, res.Steps, err
+}
+
+// RunRecoveryTraceCut adapts RunRecoveryWorkloadCut to snap.CutFunc.
+func RunRecoveryTraceCut(trace func(name string, at uint64), shards int, cut uint64, pause func(m *hw.Machine)) (uint64, uint64, error) {
+	res, err := RunRecoveryWorkloadCut(trace, shards, cut, pause)
 	return res.FinalClock, res.Steps, err
 }

@@ -1,0 +1,97 @@
+package dev
+
+// Device snapshot state: the queued (in-flight-to-driver) frames and
+// the accumulated counters of a NIC or fiber port. Frames already
+// scheduled on the wire are engine events and exist only on a
+// non-quiescent machine, which a structural snapshot refuses; the
+// receive queues here are the complete device state at a quiescent
+// point. Callbacks (OnRx, TxFault) are code, not state — a fork
+// re-installs them when it rebuilds its drivers.
+
+// NICState is a captured Ethernet interface.
+type NICState struct {
+	Pending  [][]byte
+	TxFrames uint64
+	RxFrames uint64
+	TxBytes  uint64
+	RxBytes  uint64
+	Dropped  uint64
+	// WireDropped/WireDuped mirror the injected-fault counters.
+	WireDropped uint64
+	WireDuped   uint64
+}
+
+// State deep-copies the NIC's queue and counters.
+func (n *NIC) State() NICState {
+	st := NICState{
+		Pending:     make([][]byte, len(n.pending)),
+		TxFrames:    n.TxFrames,
+		RxFrames:    n.RxFrames,
+		TxBytes:     n.TxBytes,
+		RxBytes:     n.RxBytes,
+		Dropped:     n.Dropped,
+		WireDropped: n.WireDropped,
+		WireDuped:   n.WireDuped,
+	}
+	for i, f := range n.pending {
+		st.Pending[i] = append([]byte(nil), f...)
+	}
+	return st
+}
+
+// Restore overwrites the NIC's queue and counters with a captured
+// state, deep-copying the frames so restored machines never alias the
+// snapshot's buffers.
+func (n *NIC) Restore(st NICState) {
+	n.pending = make([][]byte, len(st.Pending))
+	for i, f := range st.Pending {
+		n.pending[i] = append([]byte(nil), f...)
+	}
+	n.TxFrames = st.TxFrames
+	n.RxFrames = st.RxFrames
+	n.TxBytes = st.TxBytes
+	n.RxBytes = st.RxBytes
+	n.Dropped = st.Dropped
+	n.WireDropped = st.WireDropped
+	n.WireDuped = st.WireDuped
+}
+
+// FiberState is a captured fiber port.
+type FiberState struct {
+	Pending     [][]byte
+	TxMsgs      uint64
+	RxMsgs      uint64
+	TxBytes     uint64
+	WireDropped uint64
+	WireDuped   uint64
+}
+
+// State deep-copies the port's queue and counters.
+func (p *FiberPort) State() FiberState {
+	st := FiberState{
+		Pending:     make([][]byte, len(p.pending)),
+		TxMsgs:      p.TxMsgs,
+		RxMsgs:      p.RxMsgs,
+		TxBytes:     p.TxBytes,
+		WireDropped: p.WireDropped,
+		WireDuped:   p.WireDuped,
+	}
+	for i, m := range p.pending {
+		st.Pending[i] = append([]byte(nil), m...)
+	}
+	return st
+}
+
+// Restore overwrites the port's queue and counters with a captured
+// state.
+func (p *FiberPort) Restore(st FiberState) {
+	p.pending = make([][]byte, len(st.Pending))
+	for i, m := range st.Pending {
+		p.pending[i] = append([]byte(nil), m...)
+	}
+	p.TxMsgs = st.TxMsgs
+	p.RxMsgs = st.RxMsgs
+	p.TxBytes = st.TxBytes
+	p.WireDropped = st.WireDropped
+	p.WireDuped = st.WireDuped
+}

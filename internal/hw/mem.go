@@ -3,6 +3,8 @@ package hw
 import (
 	"encoding/binary"
 	"fmt"
+	//ckvet:allow shardsafe COW counters are bumped from write paths on every shard of a forked machine concurrently and only read at quiescence
+	"sync/atomic"
 )
 
 // Page geometry shared with the page tables.
@@ -20,9 +22,110 @@ const (
 // PhysMem is the machine's physical memory: an array of lazily allocated
 // 4 KB frames addressed by a 32-bit physical address. It is shared by all
 // MPMs over the simulated VMEbus.
+//
+// Frames can be copy-on-write shared with a snapshot (FrameImage) and
+// with any machines forked from it: Freeze marks every allocated frame
+// shared, and the first write to a shared frame privatizes a copy, so
+// a fork's writes never reach the parent, its siblings, or the image.
 type PhysMem struct {
 	frames []*[PageSize]byte
+	// shared[i] means frames[i] is referenced by a FrameImage (and
+	// possibly other machines) and must be copied before mutation. Nil
+	// until the memory first participates in a snapshot.
+	shared []bool
 	size   uint32
+	// COW counters are atomics: in a sharded forked machine every shard
+	// privatizes frames from its own module's allocator range (disjoint
+	// frame slots, so the frames/shared slices never contend), but all
+	// shards bump these machine-global words. They never feed back into
+	// simulated behavior and are read only at quiescence.
+	sharedPages atomic.Uint64
+	copiedPages atomic.Uint64
+	faults      atomic.Uint64
+}
+
+// CowStats counts copy-on-write activity on a physical memory.
+type CowStats struct {
+	// SharedPages is the number of frames currently in shared
+	// (copy-before-write) state.
+	SharedPages uint64
+	// CopiedPages is the cumulative number of frames privatized by
+	// copying (the frame had contents that a write had to preserve).
+	CopiedPages uint64
+	// Faults is the cumulative number of copy-on-write write faults
+	// taken (every de-share event, including ones that only needed a
+	// fresh zero frame).
+	Faults uint64
+}
+
+// CowStats reports the memory's copy-on-write counters.
+func (m *PhysMem) CowStats() CowStats {
+	return CowStats{
+		SharedPages: m.sharedPages.Load(),
+		CopiedPages: m.copiedPages.Load(),
+		Faults:      m.faults.Load(),
+	}
+}
+
+// FrameImage is an immutable snapshot of a physical memory's frames.
+// It shares frame storage copy-on-write with the memory it was frozen
+// from and with every memory created via NewPhysMem: all of them mark
+// the common frames shared and copy before writing, so the image's
+// bytes never change after Freeze returns.
+type FrameImage struct {
+	frames []*[PageSize]byte
+	size   uint32
+}
+
+// Freeze snapshots the memory's current contents as an immutable
+// FrameImage and marks every allocated frame copy-on-write shared —
+// including in the parent, whose next write to a captured frame will
+// privatize a copy rather than mutate the image.
+func (m *PhysMem) Freeze() *FrameImage {
+	if m.shared == nil {
+		m.shared = make([]bool, len(m.frames))
+	}
+	im := &FrameImage{frames: make([]*[PageSize]byte, len(m.frames)), size: m.size}
+	copy(im.frames, m.frames)
+	for i, f := range m.frames {
+		if f != nil && !m.shared[i] {
+			m.shared[i] = true
+			m.sharedPages.Add(1)
+		}
+	}
+	return im
+}
+
+// Size reports the image's memory size in bytes.
+func (im *FrameImage) Size() uint32 { return im.size }
+
+// Frames reports the image's frame count.
+func (im *FrameImage) Frames() uint32 { return im.size / PageSize }
+
+// PageBytes returns the image's frame for pfn, or nil for a
+// never-touched (all-zero) frame. Callers must not mutate it.
+func (im *FrameImage) PageBytes(pfn uint32) *[PageSize]byte {
+	return im.frames[pfn]
+}
+
+// NewPhysMem creates a fresh physical memory whose initial contents are
+// the image, sharing every allocated frame copy-on-write. This is the
+// mutable restore path: a forked machine starts from the image and
+// lazily copies a frame only on its first write.
+func (im *FrameImage) NewPhysMem() *PhysMem {
+	m := &PhysMem{
+		frames: make([]*[PageSize]byte, len(im.frames)),
+		shared: make([]bool, len(im.frames)),
+		size:   im.size,
+	}
+	copy(m.frames, im.frames)
+	for i, f := range m.frames {
+		if f != nil {
+			m.shared[i] = true
+			m.sharedPages.Add(1)
+		}
+	}
+	return m
 }
 
 // NewPhysMem returns a physical memory of the given size, which must be a
@@ -40,7 +143,10 @@ func (m *PhysMem) Size() uint32 { return m.size }
 // Frames reports the number of page frames.
 func (m *PhysMem) Frames() uint32 { return m.size / PageSize }
 
-// Page returns the frame for pfn, allocating it zeroed on first touch.
+// Page returns the frame for pfn for mutation, allocating it zeroed on
+// first touch and privatizing a copy if the frame is snapshot-shared.
+// Read-only internal paths use peek instead, which never allocates or
+// de-shares.
 func (m *PhysMem) Page(pfn uint32) *[PageSize]byte {
 	if pfn >= uint32(len(m.frames)) {
 		panic(fmt.Sprintf("hw: physical frame %#x out of range", pfn))
@@ -49,15 +155,38 @@ func (m *PhysMem) Page(pfn uint32) *[PageSize]byte {
 	if f == nil {
 		f = new([PageSize]byte)
 		m.frames[pfn] = f
+		return f
+	}
+	if m.shared != nil && m.shared[pfn] {
+		c := new([PageSize]byte)
+		*c = *f
+		m.frames[pfn] = c
+		m.shared[pfn] = false
+		m.sharedPages.Add(^uint64(0))
+		m.copiedPages.Add(1)
+		m.faults.Add(1)
+		return c
 	}
 	return f
+}
+
+// peek returns the frame for pfn without allocating or privatizing it;
+// nil means the frame has never been touched and reads as zeros.
+func (m *PhysMem) peek(pfn uint32) *[PageSize]byte {
+	if pfn >= uint32(len(m.frames)) {
+		panic(fmt.Sprintf("hw: physical frame %#x out of range", pfn))
+	}
+	return m.frames[pfn]
 }
 
 // Read32 reads the 32-bit little-endian word at physical address pa,
 // which must be 4-byte aligned.
 func (m *PhysMem) Read32(pa uint32) uint32 {
 	checkAlign(pa, 4)
-	f := m.Page(pa >> PageShift)
+	f := m.peek(pa >> PageShift)
+	if f == nil {
+		return 0
+	}
 	off := pa & (PageSize - 1)
 	return binary.LittleEndian.Uint32(f[off : off+4])
 }
@@ -72,7 +201,11 @@ func (m *PhysMem) Write32(pa, v uint32) {
 
 // Read8 reads the byte at pa.
 func (m *PhysMem) Read8(pa uint32) byte {
-	return m.Page(pa >> PageShift)[pa&(PageSize-1)]
+	f := m.peek(pa >> PageShift)
+	if f == nil {
+		return 0
+	}
+	return f[pa&(PageSize-1)]
 }
 
 // Write8 writes the byte at pa.
@@ -140,6 +273,19 @@ func (a *RAMAllocator) Free(n int) {
 		panic(fmt.Sprintf("hw: bad free of %d bytes (%d used) on %s", n, a.used, a.name))
 	}
 	a.used -= n
+}
+
+// RestoreAccounting pins the allocator's usage and high-water mark to
+// snapshot-captured values. A machine restore rebuilds descriptors and
+// page tables in its own order, which reproduces the same live byte
+// count but not necessarily the same peak; this sets both to the
+// parent's numbers so the Section 5.2 space arithmetic survives a fork.
+func (a *RAMAllocator) RestoreAccounting(used, peak int) {
+	if used < 0 || used > a.size || peak < used || peak > a.size {
+		panic(fmt.Sprintf("hw: bad restored accounting used=%d peak=%d size=%d on %s", used, peak, a.size, a.name))
+	}
+	a.used = used
+	a.peak = peak
 }
 
 // Used reports the bytes currently allocated.

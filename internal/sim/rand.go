@@ -18,6 +18,14 @@ func (r *Rand) Uint64() uint64 {
 	return z ^ (z >> 31)
 }
 
+// State reports the generator's internal state so a snapshot can
+// capture the exact position of a deterministic stream.
+func (r *Rand) State() uint64 { return r.state }
+
+// RestoreState rewinds (or advances) the generator to a previously
+// captured State; the next draw continues the captured stream.
+func (r *Rand) RestoreState(s uint64) { r.state = s }
+
 // Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
 func (r *Rand) Intn(n int) int {
 	if n <= 0 {

@@ -216,6 +216,13 @@ func RunSharded(sc Scenario, trace func(name string, at uint64), shards int) *Re
 	return runWith(sc, trace, shards)
 }
 
+// RunCut runs the scenario pausing once at virtual time cut for the
+// pause hook (the replay fork tier's snapshot instant) before running
+// to completion. cut == 0 with a nil pause is RunSharded.
+func RunCut(sc Scenario, trace func(name string, at uint64), shards int, cut uint64, pause func(m *hw.Machine)) *Result {
+	return runWithOpts(sc, trace, shards, runOpts{cut: cut, pause: pause})
+}
+
 // shardPlan assigns each MPM a shard. Interconnect traffic (fiber,
 // Ethernet) is shard-safe by construction, but two couplings live
 // outside the simulated machine and force co-location:
@@ -266,9 +273,55 @@ func shardPlan(sc *Scenario, shards int) []int {
 	return plan
 }
 
+// runOpts are the harness's execution-mode knobs: the replay-tier cut
+// (pause once at a virtual time, then continue) and the shrink prober's
+// early stop (run in bounded chunks, stop once an oracle has fired).
+type runOpts struct {
+	cut       uint64
+	pause     func(m *hw.Machine)
+	earlyStop bool
+}
+
 func runWith(sc Scenario, trace func(name string, at uint64), shards int) *Result {
+	return runWithOpts(sc, trace, shards, runOpts{})
+}
+
+// runMachine drives the built machine to its horizon under the options:
+// pausing once at the cut, and — for shrink probes — running in
+// virtual-time chunks that stop as soon as a failure is on the ledger
+// (failures are recorded at deterministic virtual times, so a full run
+// of the same scenario records the same failure; stopping early cannot
+// turn a failing scenario into a passing one).
+func (h *harness) runMachine(opts runOpts) error {
+	if opts.pause != nil {
+		if err := h.m.Run(opts.cut); err != nil {
+			return err
+		}
+		opts.pause(h.m)
+	}
+	if opts.earlyStop {
+		chunk := h.horizon/8 + 1
+		// Past the ticker retirement point nothing periodic remains; the
+		// final unbounded Run below drains whatever is left.
+		limit := h.horizon + hw.CyclesFromMicros(100_000)
+		for next := h.m.Now() + chunk; next < limit; next += chunk {
+			h.mu.Lock()
+			failed := len(h.failures) > 0
+			h.mu.Unlock()
+			if failed {
+				return nil
+			}
+			if err := h.m.Run(next); err != nil {
+				return err
+			}
+		}
+	}
+	return h.m.Run(math.MaxUint64)
+}
+
+func runWithOpts(sc Scenario, trace func(name string, at uint64), shards int, opts runOpts) *Result {
 	if sc.Orch != nil {
-		return runOrch(sc, trace, shards)
+		return runOrch(sc, trace, shards, opts)
 	}
 	res := &Result{Scenario: sc}
 	h := &harness{sc: sc, horizon: hw.CyclesFromMicros(float64(sc.HorizonUS))}
@@ -329,7 +382,7 @@ func runWith(sc Scenario, trace func(name string, at uint64), shards int) *Resul
 	}
 
 	h.m.SetMaxSteps(2_000_000_000)
-	runErr := h.m.Run(math.MaxUint64)
+	runErr := h.runMachine(opts)
 	h.finish(runErr)
 
 	res.Failures = h.failures
@@ -371,6 +424,18 @@ func RunSeed(seed uint64) *Result { return Run(Generate(seed), nil) }
 func SeedWorkload(seed uint64) func(trace func(name string, at uint64), shards int) (uint64, uint64, error) {
 	return func(trace func(name string, at uint64), shards int) (uint64, uint64, error) {
 		r := RunSharded(Generate(seed), trace, shards)
+		if r.Failed() {
+			return r.FinalClock, r.Steps, fmt.Errorf("cksim seed %d failed:\n%s", seed, r.Fingerprint())
+		}
+		return r.FinalClock, r.Steps, nil
+	}
+}
+
+// SeedWorkloadCut adapts one seed to the replay fork tier
+// (snap.CutFunc): like SeedWorkload but pausing at the cut.
+func SeedWorkloadCut(seed uint64) func(trace func(name string, at uint64), shards int, cut uint64, pause func(m *hw.Machine)) (uint64, uint64, error) {
+	return func(trace func(name string, at uint64), shards int, cut uint64, pause func(m *hw.Machine)) (uint64, uint64, error) {
+		r := RunCut(Generate(seed), trace, shards, cut, pause)
 		if r.Failed() {
 			return r.FinalClock, r.Steps, fmt.Errorf("cksim seed %d failed:\n%s", seed, r.Fingerprint())
 		}

@@ -11,6 +11,14 @@ import "vpp/internal/chaos"
 //
 // It returns the smallest failing scenario found and its result; if no
 // reduction applies the input scenario is re-run and returned as is.
+//
+// Candidate probes run with the early-stop option: the machine runs in
+// virtual-time chunks and stops as soon as an oracle has recorded a
+// failure, so a candidate that fails early costs a fraction of its
+// horizon. Failures land at deterministic virtual times, so an
+// early-stopped probe fails if and only if the full run fails; the
+// result finally returned is always from a full re-run of the winning
+// scenario.
 func Shrink(sc Scenario, maxRuns int) (Scenario, *Result) {
 	runs := 0
 	tryRun := func(c Scenario) *Result {
@@ -18,7 +26,7 @@ func Shrink(sc Scenario, maxRuns int) (Scenario, *Result) {
 			return nil
 		}
 		runs++
-		r := Run(c, nil)
+		r := runWithOpts(c, nil, 1, runOpts{earlyStop: true})
 		if r.Failed() {
 			return r
 		}
@@ -104,6 +112,10 @@ func Shrink(sc Scenario, maxRuns int) (Scenario, *Result) {
 		}
 	}
 
+	// Probes may have stopped early; the reported reduction is a full run.
+	if len(best.Ops) != len(sc.Ops) || len(best.Faults) != len(sc.Faults) || !scenarioEqual(best, sc) {
+		bestRes = Run(best, nil)
+	}
 	return best, bestRes
 }
 

@@ -1,0 +1,114 @@
+package snap
+
+import (
+	"fmt"
+
+	"vpp/internal/hw"
+)
+
+// The replay fork tier: a snapshot of a machine that is NOT quiescent
+// — coroutines parked mid-call, events in flight — cannot be captured
+// structurally (a goroutine stack is opaque to the host). But every
+// workload here is a pure function of its recipe, so the snapshot of a
+// running machine is (recipe, cut time, state digest at the cut): a
+// fork rebuilds the machine from the recipe, re-runs it to the cut,
+// verifies its hardware state digest equals the parent's, and then
+// runs the divergent continuation. The fork-equivalence matrix uses
+// this to assert that for every golden workload a forked run's trace
+// tail is byte-identical to the from-boot run's tail, serial and
+// sharded.
+
+// CutFunc is a workload that can pause mid-trace: it drives its
+// machine to virtual time cut, calls pause once, and then runs to
+// completion. cut == 0 (with a nil pause) is the plain run. The
+// returned values follow the golden-workload convention (final clock,
+// schedule steps).
+type CutFunc func(trace func(name string, at uint64), shards int, cut uint64, pause func(m *hw.Machine)) (finalClock, steps uint64, err error)
+
+// Dispatch is one schedule-trace record.
+type Dispatch struct {
+	Name string
+	At   uint64
+}
+
+// Replay is a replay-tier snapshot specification: which workload,
+// which shard count, where to cut.
+type Replay struct {
+	Workload CutFunc
+	Shards   int
+	Cut      uint64
+}
+
+// FullResult is the parent run: the complete trace, the index of the
+// first post-cut record, and the machine state digest at the cut.
+type FullResult struct {
+	Trace      []Dispatch
+	CutIndex   int
+	Digest     uint64
+	FinalClock uint64
+	Steps      uint64
+}
+
+// RunFull runs the workload from boot to completion, recording the
+// full trace and capturing the state digest at the cut — the parent
+// half of a replay fork.
+func (r Replay) RunFull() (*FullResult, error) {
+	res := &FullResult{}
+	trace := func(name string, at uint64) {
+		res.Trace = append(res.Trace, Dispatch{Name: name, At: at})
+	}
+	pause := func(m *hw.Machine) {
+		res.CutIndex = len(res.Trace)
+		res.Digest = m.StateDigest()
+	}
+	fc, steps, err := r.Workload(trace, r.Shards, r.Cut, pause)
+	if err != nil {
+		return nil, err
+	}
+	res.FinalClock = fc
+	res.Steps = steps
+	return res, nil
+}
+
+// RunFork is the forked run: rebuild from the recipe, re-run to the
+// cut with the trace sink disconnected, verify the machine reached a
+// state byte-equivalent to the parent's (digest match), then record
+// only the continuation. The returned tail is what a from-snapshot run
+// observes; compare it to FullResult.Trace[CutIndex:].
+func (r Replay) RunFork(wantDigest uint64) ([]Dispatch, error) {
+	var tail []Dispatch
+	recording := false
+	var digestErr error
+	trace := func(name string, at uint64) {
+		if recording {
+			tail = append(tail, Dispatch{Name: name, At: at})
+		}
+	}
+	pause := func(m *hw.Machine) {
+		if got := m.StateDigest(); got != wantDigest {
+			digestErr = fmt.Errorf("snap: fork diverged from parent at cut %d: state digest %#x, want %#x", r.Cut, got, wantDigest)
+		}
+		recording = true
+	}
+	if _, _, err := r.Workload(trace, r.Shards, r.Cut, pause); err != nil {
+		return nil, err
+	}
+	if digestErr != nil {
+		return nil, digestErr
+	}
+	return tail, nil
+}
+
+// TailEqual reports whether two dispatch sequences are identical, with
+// a description of the first difference.
+func TailEqual(a, b []Dispatch) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("snap: tail length %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return fmt.Errorf("snap: tail diverges at %d: %q@%d vs %q@%d", i, a[i].Name, a[i].At, b[i].Name, b[i].At)
+		}
+	}
+	return nil
+}

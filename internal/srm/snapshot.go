@@ -1,0 +1,70 @@
+package srm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Ledger is the snapshot of an SRM's resource bookkeeping: the
+// page-group free list, every launched kernel's name and granted
+// groups, and the installed service names. It is the part of SRM state
+// that is pure data — the threads behind the services and kernels are
+// execution state and belong to the machine snapshot's other layers.
+type Ledger struct {
+	// FreeGroups is the allocator's free list in exact stack order, so
+	// post-restore grants pop the same groups the parent would have.
+	FreeGroups []uint32
+	// Grants maps launched-kernel names (sorted) to their granted
+	// page-group lists.
+	Grants []Grant
+	// Services lists installed service names in sorted order.
+	Services []string
+}
+
+// Grant is one launched kernel's page-group grant.
+type Grant struct {
+	Name   string
+	Groups []uint32
+}
+
+// Ledger captures the SRM's resource bookkeeping.
+func (s *SRM) Ledger() Ledger {
+	led := Ledger{
+		FreeGroups: append([]uint32(nil), s.groups.free...),
+		Services:   s.serviceNames(),
+	}
+	names := make([]string, 0, len(s.launched))
+	for n := range s.launched {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		led.Grants = append(led.Grants, Grant{
+			Name:   n,
+			Groups: append([]uint32(nil), s.launched[n].groups...),
+		})
+	}
+	return led
+}
+
+// RestoreLedger rewinds the SRM's resource bookkeeping to a captured
+// ledger. The launched kernels and services the ledger names must
+// already exist (a restore rebuilds them through the normal launch
+// path before replaying the ledger); their grant lists and the
+// allocator free list are overwritten with the captured values.
+func (s *SRM) RestoreLedger(led Ledger) error {
+	for _, g := range led.Grants {
+		l, ok := s.launched[g.Name]
+		if !ok {
+			return fmt.Errorf("srm: ledger names unknown launched kernel %q", g.Name)
+		}
+		l.groups = append([]uint32(nil), g.Groups...)
+	}
+	for _, n := range led.Services {
+		if _, ok := s.services[n]; !ok {
+			return fmt.Errorf("srm: ledger names unknown service %q", n)
+		}
+	}
+	s.groups.free = append(s.groups.free[:0], led.FreeGroups...)
+	return nil
+}

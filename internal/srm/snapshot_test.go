@@ -1,0 +1,61 @@
+package srm
+
+import (
+	"reflect"
+	"testing"
+
+	"vpp/internal/aklib"
+	"vpp/internal/hw"
+)
+
+// TestLedgerRoundTrip captures an SRM's resource bookkeeping after two
+// launches and a service install, perturbs the live allocator, and
+// requires RestoreLedger to reproduce the capture exactly — free-list
+// order included, since that order decides every future grant.
+func TestLedgerRoundTrip(t *testing.T) {
+	var s *SRM
+	startMachine(t, func(srm *SRM, e *hw.Exec) {
+		s = srm
+		if _, err := srm.Launch(e, "a", LaunchOpts{Groups: 2, MainPrio: 20},
+			func(ak *aklib.AppKernel, me *hw.Exec) {}); err != nil {
+			t.Errorf("launch a: %v", err)
+		}
+		if _, err := srm.Launch(e, "b", LaunchOpts{Groups: 1, MainPrio: 20},
+			func(ak *aklib.AppKernel, me *hw.Exec) {}); err != nil {
+			t.Errorf("launch b: %v", err)
+		}
+		if _, err := srm.AddService(e, "svc", 30, func(se *hw.Exec) {}); err != nil {
+			t.Errorf("add service: %v", err)
+		}
+	})
+
+	led := s.Ledger()
+	if len(led.Grants) != 2 || len(led.Services) == 0 || len(led.FreeGroups) == 0 {
+		t.Fatalf("unexpected ledger shape: %+v", led)
+	}
+
+	// Perturb the live bookkeeping the way a divergent continuation
+	// would, then rewind.
+	for i, j := 0, len(s.groups.free)-1; i < j; i, j = i+1, j-1 {
+		s.groups.free[i], s.groups.free[j] = s.groups.free[j], s.groups.free[i]
+	}
+	s.launched["a"].groups = nil
+	if err := s.RestoreLedger(led); err != nil {
+		t.Fatalf("RestoreLedger: %v", err)
+	}
+	if got := s.Ledger(); !reflect.DeepEqual(led, got) {
+		t.Fatalf("ledger did not survive the round trip:\n first: %+v\nsecond: %+v", led, got)
+	}
+
+	// A ledger naming state this SRM does not have is refused.
+	bad := led
+	bad.Grants = append(append([]Grant(nil), led.Grants...), Grant{Name: "ghost"})
+	if err := s.RestoreLedger(bad); err == nil {
+		t.Fatal("ledger with an unknown launched kernel accepted")
+	}
+	bad = led
+	bad.Services = append(append([]string(nil), led.Services...), "ghost")
+	if err := s.RestoreLedger(bad); err == nil {
+		t.Fatal("ledger with an unknown service accepted")
+	}
+}
