@@ -1,0 +1,121 @@
+package ck
+
+// The fork instance pool. BENCH_fork.json attributes most of a fork's
+// host cost to ck.New, and inside ck.New almost all of it is newPMap:
+// the mapping cache's record array is by far the largest single
+// allocation a Cache Kernel makes (65536 records × 16 bytes with the
+// default Config). A forked instance does not care whether its pmap was
+// freshly allocated or recycled, as long as the recycled one is
+// byte-identical to a fresh one — which pmap.reset guarantees. The pool
+// holds pre-built (or recycled-and-reset) pmaps keyed by their
+// dimensions and hands them to newKernel.
+//
+// The pool is host-side plumbing shared across forks that may be built
+// from different goroutines, hence the mutex; nothing inside a running
+// simulation ever touches it, so it cannot perturb virtual time.
+
+import (
+	//ckvet:allow shardsafe host-side fork pool shared across simulations, never touched from inside a shard
+	"sync"
+
+	"vpp/internal/hw"
+)
+
+// pmapKey identifies a pmap shape: pools only hand out maps whose
+// dimensions match the requesting configuration exactly.
+type pmapKey struct {
+	slots, buckets int
+}
+
+// PoolStats reports what an InstancePool has done, for the fork
+// experiment's report and for tests.
+type PoolStats struct {
+	Built    int // pmaps constructed by Fill
+	Adopted  int // newKernel requests served from the pool
+	Missed   int // newKernel requests that fell back to newPMap
+	Recycled int // kernels whose pmap was reclaimed by Recycle
+	Idle     int // pmaps currently sitting in the pool
+}
+
+// InstancePool recycles the expensive parts of a Cache Kernel instance
+// across forks. It is safe for concurrent use.
+type InstancePool struct {
+	mu    sync.Mutex
+	pmaps map[pmapKey][]*pmap
+	stats PoolStats
+}
+
+// NewInstancePool returns an empty pool.
+func NewInstancePool() *InstancePool {
+	return &InstancePool{pmaps: make(map[pmapKey][]*pmap)}
+}
+
+// Fill pre-builds n fresh pmaps for the given configuration, paying the
+// construction cost now so later forks do not.
+func (p *InstancePool) Fill(cfg Config, n int) {
+	cfg = cfg.withDefaults()
+	key := pmapKey{cfg.MappingSlots, cfg.PMapBuckets}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for range n {
+		p.pmaps[key] = append(p.pmaps[key], newPMap(key.slots, key.buckets))
+		p.stats.Built++
+	}
+}
+
+// take pops a pooled pmap with the requested dimensions, or nil when
+// none is available (or the receiver itself is nil, the unpooled path).
+func (p *InstancePool) take(slots, buckets int) *pmap {
+	if p == nil {
+		return nil
+	}
+	key := pmapKey{slots, buckets}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	free := p.pmaps[key]
+	if len(free) == 0 {
+		p.stats.Missed++
+		return nil
+	}
+	pm := free[len(free)-1]
+	free[len(free)-1] = nil
+	p.pmaps[key] = free[:len(free)-1]
+	p.stats.Adopted++
+	return pm
+}
+
+// Recycle reclaims a retired kernel's pmap: it is reset to the
+// freshly-constructed state and returned to the pool for the next fork.
+// The kernel must no longer be in use; its mapping cache is gone after
+// this call.
+func (p *InstancePool) Recycle(k *Kernel) {
+	pm := k.pm
+	if pm == nil {
+		return
+	}
+	k.pm = nil
+	pm.reset()
+	key := pmapKey{len(pm.recs), len(pm.buckets)}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.pmaps[key] = append(p.pmaps[key], pm)
+	p.stats.Recycled++
+}
+
+// New creates a Cache Kernel as ck.New does, adopting pooled state when
+// available.
+func (p *InstancePool) New(mpm *hw.MPM, cfg Config) (*Kernel, error) {
+	return newKernel(mpm, cfg, p)
+}
+
+// Stats returns a snapshot of the pool's counters.
+func (p *InstancePool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.stats
+	s.Idle = 0
+	for _, free := range p.pmaps {
+		s.Idle += len(free)
+	}
+	return s
+}

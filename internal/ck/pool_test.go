@@ -1,0 +1,107 @@
+package ck
+
+import (
+	"reflect"
+	"testing"
+
+	"vpp/internal/hw"
+)
+
+// TestPMapResetMatchesFresh: the whole fork-pool argument rests on one
+// claim — a recycled pmap is indistinguishable from a freshly built
+// one. Dirty a map thoroughly (inserts across buckets, removals on both
+// the scrubbing and keeping paths, clock-hand motion) and require deep
+// equality with newPMap afterwards, free-slot order included.
+func TestPMapResetMatchesFresh(t *testing.T) {
+	const slots, buckets = 64, 16
+	p := newPMap(slots, buckets)
+	var idxs []int32
+	for i := 0; i < 48; i++ {
+		idx, ok := p.insert(depKind(1+i%3), uint32(i*31), uint32(i), int32(i%7))
+		if !ok {
+			t.Fatalf("insert %d failed with %d slots", i, slots)
+		}
+		idxs = append(idxs, idx)
+	}
+	for i, idx := range idxs {
+		switch i % 3 {
+		case 0:
+			p.remove(idx)
+		case 1:
+			p.removeKeep(idx)
+		}
+	}
+	p.victim(func(int32, *depRecord) bool { return false }) // move the clock hand
+	p.reset()
+	if want := newPMap(slots, buckets); !reflect.DeepEqual(p, want) {
+		t.Fatalf("reset pmap differs from a fresh one:\ngot  %+v\nwant %+v", p, want)
+	}
+}
+
+// TestInstancePoolAdoptRecycle exercises the pool's bookkeeping through
+// a take-miss, a fill, an adoption and a recycle.
+func TestInstancePoolAdoptRecycle(t *testing.T) {
+	cfg := hw.DefaultConfig()
+	cfg.MPMs = 3
+	m := hw.NewMachine(cfg)
+
+	pool := NewInstancePool()
+	k0, err := pool.New(m.MPMs[0], Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := pool.Stats(); s.Missed != 1 || s.Adopted != 0 {
+		t.Fatalf("empty-pool New: stats %+v, want one miss", s)
+	}
+
+	pool.Fill(Config{}, 2)
+	if s := pool.Stats(); s.Built != 2 || s.Idle != 2 {
+		t.Fatalf("after Fill(2): stats %+v", s)
+	}
+	k1, err := pool.New(m.MPMs[1], Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := pool.Stats(); s.Adopted != 1 || s.Idle != 1 {
+		t.Fatalf("pooled New: stats %+v, want one adoption", s)
+	}
+	adopted := k1.pm
+
+	pool.Recycle(k0)
+	if k0.pm != nil {
+		t.Fatal("Recycle left the kernel holding its pmap")
+	}
+	if s := pool.Stats(); s.Recycled != 1 || s.Idle != 2 {
+		t.Fatalf("after Recycle: stats %+v", s)
+	}
+
+	// A recycled pmap must come back out; dimensions must still match.
+	k2, err := pool.New(m.MPMs[2], Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k2.pm == adopted {
+		t.Fatal("adopted pmap handed out twice")
+	}
+	cfg2 := Config{}.withDefaults()
+	if k2.pm.Capacity() != cfg2.MappingSlots {
+		t.Fatalf("adopted pmap has %d slots, config wants %d", k2.pm.Capacity(), cfg2.MappingSlots)
+	}
+}
+
+// TestPoolMismatchedShapeMisses: a pool holding only one shape must not
+// hand its maps to a differently-sized configuration.
+func TestPoolMismatchedShapeMisses(t *testing.T) {
+	cfg := hw.DefaultConfig()
+	m := hw.NewMachine(cfg)
+	pool := NewInstancePool()
+	pool.Fill(Config{}, 1)
+	small := Config{MappingSlots: 128, PMapBuckets: 64}
+	if _, err := pool.New(m.MPMs[0], small); err != nil {
+		t.Fatal(err)
+	}
+	s := pool.Stats()
+	if s.Adopted != 0 || s.Missed != 1 || s.Idle != 1 {
+		t.Fatalf("mismatched shape: stats %+v, want a miss with the pooled map untouched", s)
+	}
+}

@@ -30,6 +30,12 @@
 //     anchored on the wrong shard. The cksan runtime sanitizer
 //     (-tags cksan) covers what this over-approximation admits.
 //
+//   - The engine's per-epoch buffers are pooled and recycled, each with
+//     one reset point that drains it. poolpath rejects appends to those
+//     pooled fields outside their annotated sanctioned growth points:
+//     stale growth survives the barrier reset and reintroduces
+//     steady-state allocation on the zero-allocation hot path.
+//
 // Findings are suppressed line-by-line with
 //
 //	//ckvet:allow <analyzer> <reason>
@@ -47,7 +53,7 @@ import (
 )
 
 // All is the ckvet analyzer suite.
-var All = []*analysis.Analyzer{Detmap, Chargepath, Invariantcall, Shardsafe}
+var All = []*analysis.Analyzer{Detmap, Chargepath, Invariantcall, Shardsafe, Poolpath}
 
 // DeterministicPrefixes lists import-path prefixes whose packages run
 // under the simulation's virtual clock and therefore must be

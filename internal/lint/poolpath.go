@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"vpp/internal/lint/analysis"
+)
+
+// Poolpath enforces the pooled-buffer discipline of the engine's
+// zero-allocation hot path. The per-epoch structures — action and
+// registration logs, cross-shard outboxes, the event-node free list,
+// the barrier's participant scratch — are recycled across epochs: each
+// has exactly one reset point (resetLogs at the epoch barrier, the
+// epoch loop's scratch truncation, the free-list drain in newEvent)
+// that returns it to length zero with its capacity retained. Growing
+// one of these slices anywhere else breaks the bargain twice over:
+//
+//   - bytes appended outside the epoch machinery are never consumed by
+//     a barrier, so they survive the reset as stale state that the next
+//     epoch replays into the schedule (the cksan epoch-begin assertion
+//     is the runtime form of this check);
+//
+//   - an unaccounted growth point reintroduces steady-state allocation
+//     on the path the pools exist to keep allocation-free, invisibly
+//     regressing the allocs/op budget CI enforces.
+//
+// Every sanctioned growth point therefore carries a
+// //ckvet:allow poolpath annotation naming the reset point that drains
+// it; poolpath flags any other append to a pooled field. The check is
+// scoped to vpp/internal/sim — the only package that can name these
+// unexported fields.
+var Poolpath = &analysis.Analyzer{
+	Name: "poolpath",
+	Doc: "reject appends to the engine's pooled per-epoch buffers outside " +
+		"their annotated reset-point growth sites",
+	Run: runPoolpath,
+}
+
+// pooledFields names the recycled per-epoch slices by owning type.
+// Engine.coros and the event heaps are deliberately absent: they are
+// long-lived structures, not per-epoch pools.
+var pooledFields = map[string]map[string]bool{
+	"Engine":  {"acts": true, "subs": true, "outbox": true, "evFree": true},
+	"Cluster": {"ran": true},
+}
+
+func runPoolpath(pass *analysis.Pass) error {
+	if pass.Pkg.Path() != "vpp/internal/sim" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "append" || len(call.Args) == 0 {
+				return true
+			}
+			if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+				return true
+			}
+			// The first append argument is what grows; assigning the
+			// result elsewhere still aliases the pooled backing array.
+			sel, ok := call.Args[0].(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			owner, field := pooledFieldOf(pass, sel)
+			if owner == "" {
+				return true
+			}
+			pass.Reportf(call.Pos(), "append to pooled %s.%s outside a sanctioned growth point: per-epoch buffers are recycled and stale growth survives the barrier reset; route the work through the epoch machinery or annotate //ckvet:allow poolpath <reset point that drains this>", owner, field)
+			return true
+		})
+	}
+	return nil
+}
+
+// pooledFieldOf resolves sel to a pooled-field access, returning the
+// owning type and field name, or empty strings for anything else. The
+// field sets are disjoint, so map iteration order cannot matter.
+func pooledFieldOf(pass *analysis.Pass, sel *ast.SelectorExpr) (owner, field string) {
+	for o, fields := range pooledFields {
+		if fields[sel.Sel.Name] && typeIs(pass, sel.X, "vpp/internal/sim", o) {
+			return o, sel.Sel.Name
+		}
+	}
+	return "", ""
+}

@@ -1,0 +1,13 @@
+package lint_test
+
+import (
+	"testing"
+
+	"vpp/internal/lint"
+	"vpp/internal/lint/analysistest"
+)
+
+func TestPoolpath(t *testing.T) {
+	analysistest.Run(t, "testdata/poolpath", lint.Poolpath, "vpp/internal/sim")
+	analysistest.Run(t, "testdata/poolpath", lint.Poolpath, "vpp/internal/other")
+}

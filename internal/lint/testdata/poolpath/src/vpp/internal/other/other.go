@@ -1,0 +1,15 @@
+// Package other checks poolpath's scope: a package outside
+// vpp/internal/sim may append to its own fields of the same names.
+package other
+
+type buffers struct {
+	acts []int
+	ran  []int
+}
+
+func grow(b *buffers) {
+	b.acts = append(b.acts, 1)
+	b.ran = append(b.ran, 2)
+}
+
+func use() { grow(&buffers{}) }

@@ -50,6 +50,30 @@ func BenchmarkEventHeap(b *testing.B) {
 	}
 }
 
+// BenchmarkEpochBarrier measures the sharded logged path end to end:
+// two shards each firing one self-rescheduling event per epoch, so
+// every b.N steps crosses action logging, the barrier merge and the
+// pooled-buffer resets. With warm pools the steady state is
+// allocation-free; CI asserts the allocs/op budget on this benchmark
+// and the engine-step ones with -benchmem.
+func BenchmarkEpochBarrier(b *testing.B) {
+	c := NewCluster(2)
+	c.Bound(512)
+	for s := 0; s < 2; s++ {
+		e := c.Engine(s)
+		at := uint64(s + 1)
+		var tick func()
+		tick = func() {
+			at += 512
+			e.ScheduleAt(at, tick)
+		}
+		e.ScheduleAt(at, tick)
+	}
+	c.MaxSteps = uint64(b.N) + 64
+	b.ResetTimer()
+	_ = c.Run(math.MaxUint64)
+}
+
 // BenchmarkRand measures the workload PRNG.
 func BenchmarkRand(b *testing.B) {
 	r := NewRand(1)

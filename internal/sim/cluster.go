@@ -60,6 +60,13 @@ type Cluster struct {
 	subCur  []int
 	dirty   []bool
 
+	// Cached per-shard nextTime values: one pass per epoch computes both
+	// the epoch start and the participant set, and a shard that sat an
+	// epoch out untouched (no injection at the barrier) keeps its value
+	// — with many idle shards most of the per-epoch scan disappears.
+	next      []uint64
+	nextValid []bool
+
 	// san is the runtime ownership sanitizer's epoch state; empty
 	// unless built with -tags cksan.
 	san sanClusterState
@@ -166,12 +173,34 @@ func (c *Cluster) Run(until uint64) error {
 	for _, e := range c.engines {
 		e.logging = logging
 	}
-	c.startWorkers()
+	// Between Run calls the host may schedule fresh work directly, as it
+	// did at construction. Those registrations must not land in the
+	// pooled logs — no barrier would ever consume them, so they would
+	// sit in the reset-empty buffers as stale growth (the cksan
+	// epoch-begin assertion). Disarm logging on every exit; the next Run
+	// re-arms it before its first epoch.
+	defer func() {
+		for _, e := range c.engines {
+			e.logging = false
+		}
+	}()
+	if c.next == nil {
+		c.next = make([]uint64, len(c.engines))
+		c.nextValid = make([]bool, len(c.engines))
+	}
+	// Anything may have been scheduled between Run calls.
+	for i := range c.nextValid {
+		c.nextValid[i] = false
+	}
 	for {
 		t := uint64(math.MaxUint64)
-		for _, e := range c.engines {
-			if nt := e.nextTime(); nt < t {
-				t = nt
+		for i, e := range c.engines {
+			if !c.nextValid[i] {
+				c.next[i] = e.nextTime()
+				c.nextValid[i] = true
+			}
+			if c.next[i] < t {
+				t = c.next[i]
 			}
 		}
 		if t == math.MaxUint64 || t > until {
@@ -191,28 +220,46 @@ func (c *Cluster) Run(until uint64) error {
 		// shards' step counters, which must not happen while a worker is
 		// already advancing its engine.
 		c.ran = c.ran[:0]
-		for i, e := range c.engines {
-			if e.nextTime() > bound {
+		for i := range c.engines {
+			if c.next[i] > bound {
 				continue
 			}
+			//ckvet:allow poolpath sanctioned growth point of the epoch participant scratch; reset at the top of every epoch
 			c.ran = append(c.ran, i)
+			// A participant's position changes during the epoch.
+			c.nextValid[i] = false
 		}
 		for _, i := range c.ran {
 			c.budget(c.engines[i])
 		}
 		c.sanEpochBegin()
-		for _, i := range c.ran {
-			c.workers[i].req <- bound
-		}
 		var maxed error
-		for _, i := range c.ran {
-			if err := <-c.workers[i].res; err != nil {
-				maxed = err
+		if len(c.ran) == 1 {
+			// One active shard means nothing runs concurrently: drive it
+			// inline on the coordinator goroutine and skip both channel
+			// round-trips. With idle shards common (a quiet 64-MPM
+			// topology) this is the usual epoch shape.
+			maxed = c.engines[c.ran[0]].Run(bound)
+		} else {
+			c.startWorkers()
+			for _, i := range c.ran {
+				c.workers[i].req <- bound
+			}
+			for _, i := range c.ran {
+				if err := <-c.workers[i].res; err != nil {
+					maxed = err
+				}
 			}
 		}
 		c.sanEpochEnd()
 		if logging {
 			c.barrier()
+			// Barrier injections land in idle shards' heaps.
+			for i := range c.engines {
+				if c.dirty[i] {
+					c.nextValid[i] = false
+				}
+			}
 		}
 		if maxed != nil {
 			return maxed
@@ -241,7 +288,12 @@ func (c *Cluster) budget(e *Engine) {
 }
 
 // startWorkers launches one persistent goroutine per shard; each
-// engine is only ever driven by its own worker.
+// engine is only ever driven by its own worker. Called lazily, on the
+// first epoch with two or more active shards: a cluster whose epochs
+// are all single-shard (or a one-shard cluster) runs entirely on the
+// coordinator goroutine and never spawns a worker. Handing an engine
+// between the coordinator and its worker is ordered by the req/res
+// channel operations.
 func (c *Cluster) startWorkers() {
 	if c.workers != nil {
 		return
@@ -346,13 +398,45 @@ func (c *Cluster) barrier() {
 		// A trailing slice may also register after its epoch's last
 		// logged action; rank those at the barrier, in shard order.
 		c.consumeSubs(e, s, len(e.subs))
-		e.acts = e.acts[:0]
-		e.subs = e.subs[:0]
-		e.outbox = e.outbox[:0]
+	}
+	// All injections are done: now every fired event is unreferenced and
+	// the logs can recycle (resetLogs), and every destination heap that
+	// received ranks or injections can be restored in one pass.
+	for s, e := range c.engines {
+		e.resetLogs()
 		if c.dirty[s] {
 			e.events.reheap()
 		}
 	}
+}
+
+// PoolStat reports one shard's pooled hot-path buffers: the per-epoch
+// logs (zero entries between epochs — resetLogs runs at every barrier)
+// and the event free list. Capacities are bounded by poolRetain once an
+// epoch's usage fits under it; cksan asserts the reset invariant at
+// every epoch begin, and tests assert it between runs.
+type PoolStat struct {
+	Shard                       int
+	Acts, Subs, Outbox          int
+	ActsCap, SubsCap, OutboxCap int
+	FreeEvents                  int
+}
+
+// PoolStats snapshots every shard's pooled-buffer state. Only valid
+// between Run calls or at a barrier (no worker may be advancing).
+func (c *Cluster) PoolStats() []PoolStat {
+	out := make([]PoolStat, len(c.engines))
+	for i, e := range c.engines {
+		out[i] = PoolStat{
+			Shard:   i,
+			Acts:    len(e.acts),
+			Subs:    len(e.subs),
+			Outbox:  len(e.outbox),
+			ActsCap: cap(e.acts), SubsCap: cap(e.subs), OutboxCap: cap(e.outbox),
+			FreeEvents: len(e.evFree),
+		}
+	}
+	return out
 }
 
 // consumeAction consumes shard s's next logged action: updates global

@@ -159,6 +159,10 @@ type Engine struct {
 	outbox  []crossMsg
 	// evFree pools event records when the log does not retain them.
 	evFree []*event
+	// smallEpochs counts consecutive epochs whose log usage fit under
+	// poolRetain; trimPools shrinks over-cap buffers once it reaches
+	// poolTrimAfter.
+	smallEpochs int
 }
 
 // Action and registration log records (sharded mode only).
@@ -295,6 +299,7 @@ func (e *Engine) NewCoro(name string, fn func(*Ctx)) *Coro {
 		co.band = 1
 		co.gid = 0
 		if e.logging {
+			//ckvet:allow poolpath sanctioned growth point of the registration log; reset by resetLogs at the epoch barrier
 			e.subs = append(e.subs, subRec{kind: subCoro, co: co})
 		}
 	}
@@ -354,6 +359,7 @@ func (e *Engine) scheduleEvent(t uint64, fn func()) {
 		e.seq++
 		ev.band, ev.seq = 2, e.seq
 		if e.logging {
+			//ckvet:allow poolpath sanctioned growth point of the registration log; reset by resetLogs at the epoch barrier
 			e.subs = append(e.subs, subRec{kind: subEvent, ev: ev})
 		}
 	} else {
@@ -394,12 +400,15 @@ func (e *Engine) ScheduleCrossAt(dst *Engine, t uint64, fn func()) {
 	if t <= e.until {
 		panic(fmt.Sprintf("sim: cross-shard event at %d inside the current epoch (bound %d)", t, e.until))
 	}
+	//ckvet:allow poolpath sanctioned growth point of the cross-shard outbox; reset by resetLogs at the epoch barrier
 	e.outbox = append(e.outbox, crossMsg{at: t, dst: dst, fn: fn})
+	//ckvet:allow poolpath sanctioned growth point of the registration log; reset by resetLogs at the epoch barrier
 	e.subs = append(e.subs, subRec{kind: subCross, msg: int32(len(e.outbox) - 1)})
 }
 
-// newEvent draws an event record from the pool (events are recycled
-// after execution whenever the barrier log does not retain them).
+// newEvent draws an event record from the pool (executed events are
+// recycled: immediately when logging is off, at the epoch barrier once
+// the action log is done with them when logging is on).
 func (e *Engine) newEvent() *event {
 	if n := len(e.evFree); n > 0 {
 		ev := e.evFree[n-1]
@@ -409,11 +418,82 @@ func (e *Engine) newEvent() *event {
 	return &event{}
 }
 
-// freeEvent returns an executed event to the pool. Only called when
-// logging is off; a logged event is still referenced by the action log.
+// freeEvent returns an executed event to the pool: on the non-logging
+// path right after it fires, on the logging path from resetLogs at the
+// epoch barrier (the action log references fired events until then).
 func (e *Engine) freeEvent(ev *event) {
 	ev.fn = nil
+	//ckvet:allow poolpath the pool's own refill point; drained by newEvent, trimmed at barriers
 	e.evFree = append(e.evFree, ev)
+}
+
+// poolRetain caps the capacity a pooled per-epoch structure keeps
+// across epoch barriers. logEpochQuantum bounds an epoch's length in
+// virtual time but not its decision count, so one pathological epoch
+// can grow the logs arbitrarily; trimming at the barrier bounds what
+// such a spike pins for the rest of the run, while steady-state epochs
+// (usage above the cap every epoch) keep their high-water buffers and
+// never re-allocate.
+const poolRetain = 1 << 15
+
+// poolTrimAfter is how many consecutive under-cap epochs a shard must
+// see before an over-cap buffer is actually trimmed. Workloads that
+// alternate heavy and idle epochs (staggered park phases) would
+// otherwise trim on every idle epoch and re-allocate on the next heavy
+// one — steady-state allocation churn, the exact thing the pools
+// exist to eliminate. A genuine phase change (the heavy epochs are
+// over) still releases the memory, just a few barriers later.
+const poolTrimAfter = 8
+
+// resetLogs clears the per-epoch logs for reuse and recycles every
+// event the action log retained. Only the epoch barrier may call it:
+// that is the one point where nothing can still reference a fired
+// event — the merge's rank writes into fired events are done, and
+// cross-injected events live in destination heaps, not in any log.
+func (e *Engine) resetLogs() {
+	actsUsed, subsUsed, outboxUsed := len(e.acts), len(e.subs), len(e.outbox)
+	for i := range e.acts {
+		if e.acts[i].kind == actEvent {
+			e.freeEvent(e.acts[i].ev)
+		}
+	}
+	// Zero before truncating so the retained arrays do not pin coros,
+	// events or closures beyond the epoch that logged them.
+	clear(e.acts)
+	e.acts = e.acts[:0]
+	clear(e.subs)
+	e.subs = e.subs[:0]
+	clear(e.outbox)
+	e.outbox = e.outbox[:0]
+	e.trimPools(actsUsed, subsUsed, outboxUsed)
+}
+
+// trimPools applies poolRetain: a structure whose capacity outgrew the
+// cap is shrunk once poolTrimAfter consecutive epochs have fit under
+// the cap. A workload that logs more than poolRetain entries at least
+// every few epochs keeps its buffers.
+func (e *Engine) trimPools(actsUsed, subsUsed, outboxUsed int) {
+	if actsUsed > poolRetain || subsUsed > poolRetain || outboxUsed > poolRetain {
+		e.smallEpochs = 0
+		return
+	}
+	if e.smallEpochs < poolTrimAfter {
+		e.smallEpochs++
+		return
+	}
+	if cap(e.acts) > poolRetain {
+		e.acts = make([]actRec, 0, poolRetain)
+	}
+	if cap(e.subs) > poolRetain {
+		e.subs = make([]subRec, 0, poolRetain)
+	}
+	if cap(e.outbox) > poolRetain {
+		e.outbox = make([]crossMsg, 0, poolRetain)
+	}
+	if len(e.evFree) > poolRetain {
+		clear(e.evFree[poolRetain:])
+		e.evFree = e.evFree[:poolRetain]
+	}
 }
 
 // ErrMaxSteps reports that Run stopped because the step guard tripped.
@@ -500,6 +580,7 @@ func (e *Engine) runEvent(ev *event) {
 		e.schedAt = ev.at
 	}
 	if e.logging {
+		//ckvet:allow poolpath sanctioned growth point of the action log; reset by resetLogs at the epoch barrier
 		e.acts = append(e.acts, actRec{at: ev.at, ev: ev, sub: int32(len(e.subs)), kind: actEvent})
 		ev.fn()
 		return
@@ -594,6 +675,7 @@ func (e *Engine) logDispatch(co *Coro, coTime uint64) {
 		}
 	}
 	if e.logging {
+		//ckvet:allow poolpath sanctioned growth point of the action log; reset by resetLogs at the epoch barrier
 		e.acts = append(e.acts, actRec{at: coTime, co: co, sub: int32(len(e.subs)), kind: kind})
 	}
 }

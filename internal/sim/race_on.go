@@ -1,0 +1,8 @@
+//go:build race
+
+package sim
+
+// raceEnabled reports whether the race detector is compiled in. The
+// zero-allocation assertions skip under it: the detector instruments
+// the very paths they measure.
+const raceEnabled = true

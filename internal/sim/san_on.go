@@ -50,13 +50,18 @@ func (c *Cluster) sanCheckInject(msg *crossMsg) {
 	}
 }
 
-// sanShardFP fingerprints the schedulable state of one idle shard.
+// sanShardFP fingerprints the schedulable state of one idle shard,
+// including its pooled log buffers: an idle shard logs nothing, so its
+// action log must stay empty and its event free list untouched for the
+// whole epoch.
 type sanShardFP struct {
 	shard  int
 	events int
 	runq   int
+	acts   int
 	subs   int
 	outbox int
+	evFree int
 	seq    uint64
 	sched  uint64
 }
@@ -73,16 +78,26 @@ func (c *Cluster) sanFP(i int) sanShardFP {
 		shard:  i,
 		events: len(e.events),
 		runq:   len(e.runq),
+		acts:   len(e.acts),
 		subs:   len(e.subs),
 		outbox: len(e.outbox),
+		evFree: len(e.evFree),
 		seq:    e.seq,
 		sched:  e.sched,
 	}
 }
 
-// sanEpochBegin fingerprints every shard not participating in the epoch
-// (computed after c.ran is built, before any worker is released).
+// sanEpochBegin asserts every shard's pooled log buffers were fully
+// reset by the previous barrier's resetLogs, then fingerprints every
+// shard not participating in the epoch (computed after c.ran is built,
+// before any worker is released).
 func (c *Cluster) sanEpochBegin() {
+	for i, e := range c.engines {
+		if len(e.acts) != 0 || len(e.subs) != 0 || len(e.outbox) != 0 {
+			panic(fmt.Sprintf("cksan: t=%d: shard %d pooled log buffers not reset at epoch begin (acts %d, subs %d, outbox %d): a barrier skipped resetLogs",
+				c.Now(), i, len(e.acts), len(e.subs), len(e.outbox)))
+		}
+	}
 	c.san.fps = c.san.fps[:0]
 idle:
 	for i := range c.engines {
@@ -102,8 +117,8 @@ idle:
 func (c *Cluster) sanEpochEnd() {
 	for _, fp := range c.san.fps {
 		if now := c.sanFP(fp.shard); now != fp {
-			panic(fmt.Sprintf("cksan: t=%d: idle shard %d mutated during epoch (events %d->%d, runnable %d->%d, seq %d->%d, sched %d->%d): direct scheduling bypassed the cross-shard outbox",
-				c.Now(), fp.shard, fp.events, now.events, fp.runq, now.runq, fp.seq, now.seq, fp.sched, now.sched))
+			panic(fmt.Sprintf("cksan: t=%d: idle shard %d mutated during epoch (events %d->%d, runnable %d->%d, acts %d->%d, free events %d->%d, seq %d->%d, sched %d->%d): direct scheduling bypassed the cross-shard outbox",
+				c.Now(), fp.shard, fp.events, now.events, fp.runq, now.runq, fp.acts, now.acts, fp.evFree, now.evFree, fp.seq, now.seq, fp.sched, now.sched))
 		}
 	}
 }

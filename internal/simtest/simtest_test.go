@@ -100,3 +100,58 @@ func TestShrinkKeepsFailing(t *testing.T) {
 		t.Fatalf("minimized rerun hash %016x != shrink result %016x", again.Hash, res.Hash)
 	}
 }
+
+// Recording is host-side bookkeeping: an instrumented run must produce
+// the very same schedule as a plain one, and its instrumentation must
+// be internally consistent — that is what makes the shrink prober's
+// prefix-determinism skips sound.
+func TestRecordedRunScheduleNeutral(t *testing.T) {
+	sc := failingScenario()
+	plain := Run(sc, nil)
+	rec := runWithOpts(sc, nil, 1, runOpts{record: true})
+	if rec.Hash != plain.Hash {
+		t.Fatalf("recorded run hash %016x != plain %016x", rec.Hash, plain.Hash)
+	}
+	if !rec.Failed() {
+		t.Fatal("recorded run lost the failure")
+	}
+	if rec.FirstFailAt > rec.FinalClock {
+		t.Fatalf("first failure at %d past the final clock %d", rec.FirstFailAt, rec.FinalClock)
+	}
+	if len(rec.OpStarts) != len(sc.Ops) {
+		t.Fatalf("recorded %d op starts for %d ops", len(rec.OpStarts), len(sc.Ops))
+	}
+	started := 0
+	for i, at := range rec.OpStarts {
+		if at == ^uint64(0) {
+			continue
+		}
+		started++
+		if at > rec.FinalClock {
+			t.Fatalf("op %d started at %d past the final clock %d", i, at, rec.FinalClock)
+		}
+	}
+	if started == 0 {
+		t.Fatal("no op ever started; the instrumentation recorded nothing")
+	}
+}
+
+func TestShrinkStats(t *testing.T) {
+	sc := failingScenario()
+	const maxRuns = 40
+	min, res, st := ShrinkWithStats(sc, maxRuns)
+	if res == nil || !res.Failed() {
+		t.Fatal("shrink lost the failure")
+	}
+	if st.ProbesRun > maxRuns {
+		t.Fatalf("%d probes run, budget was %d", st.ProbesRun, maxRuns)
+	}
+	if st.ProbesSkipped > 0 && st.PrefixCyclesSaved == 0 {
+		t.Fatalf("%d probes skipped but no prefix cycles accounted", st.ProbesSkipped)
+	}
+	if again := Run(min, nil); !again.Failed() {
+		t.Fatal("minimized scenario passed on rerun")
+	}
+	t.Logf("shrink: %d run, %d skipped, %d checks skipped, %d prefix cycles saved",
+		st.ProbesRun, st.ProbesSkipped, st.ChecksSkipped, st.PrefixCyclesSaved)
+}
